@@ -1,0 +1,21 @@
+"""Benchmark-suite conventions.
+
+Each benchmark regenerates one paper figure or ablation table.  The
+tables are printed (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them), their *shape* is asserted (who wins, roughly by how much),
+and pytest-benchmark records the harness runtime via ``pedantic`` with a
+single round — each "iteration" is a full simulated-cluster experiment,
+so statistical repetition is meaningless (virtual time is deterministic)
+and would only burn wall-clock.
+"""
+
+from __future__ import annotations
+
+
+def run_and_render(benchmark, fn, **kwargs):
+    """Run a figure/ablation function once under the benchmark timer,
+    print its table, and return it for shape assertions."""
+    table = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(table.render())
+    return table

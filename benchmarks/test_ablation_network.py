@@ -1,0 +1,37 @@
+"""Ablation C — network parameters.
+
+Shape: the transformation's benefit *requires offload*.  Scaling latency
+or wire time changes the magnitude, but turning offload off (the same
+GM-speed network progressed by the host CPU) erases the win — the
+paper's central premise that RDMA-capable interconnects are what make
+pre-pushing pay.
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import ablation_network
+
+
+def test_network_sweep(benchmark):
+    table = run_and_render(
+        benchmark,
+        ablation_network,
+        n=128,
+        nranks=8,
+        steps=1,
+        stages=6,
+        verify=True,
+    )
+    speedup = {
+        row[0]: float(row[4]) for row in table.rows
+    }
+    # offload networks benefit
+    assert speedup["gm"] > 1.1
+    # a slower wire means more to hide: the win does not collapse
+    assert speedup["gm-wire-x4"] > 1.1
+    # same speeds, no offload: the win is gone (within noise of 1)
+    assert speedup["gm-no-offload"] < 1.08
+    # the crossover: offload vs no-offload on identical wire parameters
+    assert speedup["gm"] > speedup["gm-no-offload"]
+    # classic MPICH: no meaningful benefit either
+    assert speedup["mpich"] < 1.08

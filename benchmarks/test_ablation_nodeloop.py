@@ -1,0 +1,34 @@
+"""Ablation E — node-loop position and the interchange remedy (§3.5).
+
+Shape: with the node loop outermost, the naive transformation (scheme B)
+aims every tile at one destination NIC; interchanging the node loop
+inward first (the paper's remedy) restores balanced pairwise traffic and
+beats the congested schedule.
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import ablation_nodeloop
+
+
+def test_nodeloop(benchmark):
+    table = run_and_render(
+        benchmark,
+        ablation_nodeloop,
+        n=96,
+        nranks=8,
+        steps=1,
+        stages=6,
+        verify=True,
+    )
+    good = table.lookup(variant="prepush+interchange")
+    bad = table.lookup(variant="prepush-congested")
+    orig = table.lookup(variant="original")
+
+    assert good["scheme"] == "A"
+    assert bad["scheme"] == "B"
+    # interchange beats congestion
+    assert float(good["time_s"]) < float(bad["time_s"])
+    # and beats the original
+    assert float(good["vs_original"]) > 1.0
+    assert float(orig["vs_original"]) == 1.0

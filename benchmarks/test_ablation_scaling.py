@@ -1,0 +1,34 @@
+"""Ablation B — cluster size.
+
+Shape: the prepush benefit persists across rank counts (the exchanged
+volume per rank grows with (NP-1)/NP, so there is *more* to hide at
+larger NP, while the per-tile message count also grows — the two roughly
+balance and the speedup stays above 1 for every NP on the offload
+stack).
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import ablation_scaling
+
+NPS = (2, 4, 8, 16)
+
+
+def test_scaling(benchmark):
+    table = run_and_render(
+        benchmark,
+        ablation_scaling,
+        nranks_list=NPS,
+        n=128,
+        steps=1,
+        stages=6,
+        verify=True,
+    )
+    speedups = dict(zip(table.column("NP"), table.column("speedup")))
+    assert set(speedups) == set(NPS)
+    # prepush wins at every cluster size
+    for np_, s in speedups.items():
+        assert s > 1.0, f"NP={np_}: speedup {s:.3f}"
+    # times grow with NP on the original (more traffic per rank)
+    torig = dict(zip(table.column("NP"), table.column("time_original_s")))
+    assert torig[16] > torig[2]

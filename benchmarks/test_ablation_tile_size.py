@@ -1,0 +1,41 @@
+"""Ablation A — tile size K (the parameter the paper defers to [3]).
+
+Shape: a U-curve.  K=1 drowns in per-message overhead; K=trip is the
+original schedule with extra bookkeeping (no overlap); a moderate K
+(around trip/8) wins.
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import ablation_tile_size
+
+KS = [1, 4, 8, 16, 32, 64, 128]
+
+
+def test_tile_size_u_curve(benchmark):
+    table = run_and_render(
+        benchmark,
+        ablation_tile_size,
+        ks=KS,
+        n=128,
+        nranks=8,
+        steps=1,
+        stages=6,
+        verify=True,
+    )
+    speedups = {
+        int(k): float(s)
+        for k, s in zip(table.column("K"), table.column("speedup"))
+    }
+    best_k = max(speedups, key=speedups.get)
+
+    # the best K is an interior point: the U-curve exists
+    assert best_k not in (1, 128), speedups
+    assert speedups[best_k] > 1.1
+    # K=1 loses to the best by a wide margin (overhead side of the U)
+    assert speedups[best_k] > speedups[1] * 1.5
+    # K=trip is within noise of the original (no overlap side of the U)
+    assert 0.9 < speedups[128] < 1.1
+    # message count scales inversely with K
+    msgs = dict(zip(table.column("K"), table.column("messages")))
+    assert msgs[1] > msgs[128] * 16

@@ -1,0 +1,38 @@
+"""Ablation D — workload generality (§2's example algorithm classes).
+
+Shape: every workload the detector accepts is transformed and verified;
+the scheme-A workloads (balanced Figure 4 traffic) gain the most, the
+indirect kernel gains both overlap and the removed copy loop, and the
+scheme-B 1-D kernel (figure2) gains least — its per-tile traffic all
+aims at one destination NIC, the congestion §3.5 warns about.
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import ablation_workloads
+
+EXPECTED = {"figure2", "indirect", "fft", "sort", "stencil", "lu"}
+
+
+def test_workloads(benchmark):
+    table = run_and_render(
+        benchmark, ablation_workloads, nranks=8, verify=True
+    )
+    rows = {row[0]: row for row in table.rows}
+    assert set(rows) == EXPECTED
+
+    speedup = {name: float(r[6]) for name, r in rows.items()}
+    scheme = {name: r[2] for name, r in rows.items()}
+
+    # pattern / scheme classification as designed
+    assert rows["indirect"][1] == "indirect"
+    assert scheme["figure2"] == "B"
+    assert scheme["fft"] == "A"
+
+    # scheme-A workloads win on the offload stack
+    for name in ("fft", "sort", "stencil", "lu"):
+        assert speedup[name] > 1.0, (name, speedup[name])
+    # the indirect kernel wins (overlap + removed copy loop)
+    assert speedup["indirect"] > 1.0
+    # the congested scheme-B kernel gains least of all workloads
+    assert speedup["figure2"] == min(speedup.values())

@@ -1,0 +1,37 @@
+"""Paper Figure 1 — normalized execution time, Original vs Prepush under
+MPICH (host-based) and MPICH-GM (NIC offload).
+
+Shape reproduced (paper Figure 1): the MPICH bars tower over the GM
+bars; prepush barely moves MPICH (a host-driven stack cannot overlap);
+prepush clearly beats the original on GM, where the NIC's DMA engine
+hides the wire time behind the producer's computation and the removed
+copy loop saves CPU outright.
+"""
+
+from .conftest import run_and_render
+
+from repro.harness import figure1
+
+
+def test_figure1(benchmark):
+    table = run_and_render(
+        benchmark, figure1, n=32, nranks=8, stages=6, verify=True
+    )
+
+    t = {
+        (row[0], row[1]): float(row[2]) for row in table.rows
+    }
+    gm_orig = t[("mpich-gm", "original")]
+    gm_pp = t[("mpich-gm", "prepush")]
+    p4_orig = t[("mpich", "original")]
+    p4_pp = t[("mpich", "prepush")]
+
+    # GM prepush is the overall winner (normalized == 1)
+    assert gm_pp == min(t.values())
+    # prepush wins meaningfully on the offload stack
+    assert gm_orig / gm_pp > 1.1
+    # the host-based stack neither wins nor loses much
+    assert 0.75 < p4_orig / p4_pp < 1.1
+    # the host-based stack is the tall pair of bars
+    assert p4_orig > gm_orig
+    assert p4_pp > gm_pp

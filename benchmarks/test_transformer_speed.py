@@ -1,0 +1,32 @@
+"""Compiler-side benchmark: how fast is the Compuniformer itself?
+
+The paper's tool is a source-to-source compiler pass; its cost matters
+for build-time integration.  This benchmark times the full pipeline
+(parse -> detect -> analyze -> rewrite -> unparse) on the FFT workload.
+Unlike the experiment benchmarks, this is a genuine micro-benchmark:
+pytest-benchmark runs it for real statistics.
+"""
+
+from repro.apps import build_app
+from repro.transform import Compuniformer
+
+
+def test_transform_pipeline_speed(benchmark):
+    app = build_app("fft", n=128, nranks=8, steps=1, stages=6)
+
+    def pipeline():
+        return Compuniformer(tile_size=16).transform_text(app.source)
+
+    out = benchmark(pipeline)
+    assert "mpi_isend" in out
+
+
+def test_detection_speed(benchmark):
+    from repro.analysis.patterns import find_opportunities
+    from repro.lang import parse
+
+    app = build_app("indirect", n=32, nranks=8, stages=6)
+    ast = parse(app.source)
+
+    result = benchmark(find_opportunities, ast)
+    assert len(result.opportunities) == 1

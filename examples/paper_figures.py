@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation: Figure 1 plus the ablations.
+
+Prints every table the benchmark suite asserts on, with an ASCII bar
+chart of Figure 1 (the paper's normalized-execution-time plot).
+
+Run:  python examples/paper_figures.py [--fast]
+
+``--fast`` shrinks problem sizes ~10x so the whole script finishes
+quickly.  CAUTION: at these miniature sizes messages are too small to
+amortize per-message overheads, so prepush mostly *loses* — useful for
+exercising the machinery, not for conclusions.  (That behaviour is
+itself the left arm of Ablation A's U-curve.)  The full sizes, which
+reproduce the paper's shapes, are what EXPERIMENTS.md records.
+"""
+
+import sys
+
+from repro.harness import (
+    ablation_network,
+    ablation_nodeloop,
+    ablation_scaling,
+    ablation_tile_size,
+    ablation_workloads,
+    bar_chart,
+    figure1,
+)
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    if fast:
+        print(
+            "NOTE: --fast uses miniature sizes where per-message overhead\n"
+            "dominates (prepush mostly loses — the K->small arm of the\n"
+            "U-curve). Run without --fast for the EXPERIMENTS.md shapes.\n"
+        )
+
+    fig1 = figure1(n=16 if fast else 32, nranks=8, stages=6, verify=not fast)
+    print(fig1.render())
+    print()
+    labels = [f"{r[0]}/{r[1]}" for r in fig1.rows]
+    values = [float(r[3]) for r in fig1.rows]
+    print(bar_chart(labels, values, unit="x normalized"))
+    print()
+
+    kwargs = dict(verify=not fast)
+    if fast:
+        size = dict(n=32, steps=1, stages=4)
+        print(ablation_tile_size(ks=[1, 4, 8, 32], **size, **kwargs).render())
+        print()
+        print(ablation_scaling(nranks_list=(2, 4, 8), n=32, steps=1, stages=4, **kwargs).render())
+        print()
+        print(ablation_network(**size, **kwargs).render())
+        print()
+        print(
+            ablation_workloads(
+                sizes=dict(
+                    figure2=512, indirect=16, fft=32, sort=128, stencil=32, lu=32
+                ),
+                **kwargs,
+            ).render()
+        )
+        print()
+        print(ablation_nodeloop(n=32, steps=1, stages=4, **kwargs).render())
+    else:
+        for fn in (
+            ablation_tile_size,
+            ablation_scaling,
+            ablation_network,
+            ablation_workloads,
+            ablation_nodeloop,
+        ):
+            print(fn(**kwargs).render())
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of *An Automated Approach to Improve
+Communication-Computation Overlap in Clusters* (Fishgold, Danalis,
+Pollock, Swany; ParCo 2005).
+
+The package implements the paper's **Compuniformer** source-to-source
+transformer for a mini-Fortran MPI subset, together with every substrate
+it needs: a frontend (:mod:`repro.lang`), dependence/region analyses
+(:mod:`repro.analysis`), the pre-push transformation
+(:mod:`repro.transform`), a deterministic discrete-event cluster
+simulator standing in for the paper's MPICH / MPICH-GM testbed
+(:mod:`repro.runtime`), an AST interpreter executing programs on that
+cluster (:mod:`repro.interp`), the §2 example workloads
+(:mod:`repro.apps`), and the experiment harness regenerating the paper's
+figure and the deferred ablations (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import Compuniformer, verify_transform
+
+    report = Compuniformer(tile_size=16).transform(source_text)
+    print(report.unparse())                 # the pre-pushed program
+    eq, _ = verify_transform(source_text, nranks=8)
+    assert eq.equivalent
+"""
+
+from .errors import (  # noqa: F401
+    AnalysisError,
+    DeadlockError,
+    InterpError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TransformError,
+    VerificationError,
+)
+from .lang import parse, unparse  # noqa: F401
+from .transform.prepush import (  # noqa: F401
+    Compuniformer,
+    SiteReport,
+    TransformReport,
+    prepush,
+)
+from .verify import (  # noqa: F401
+    EquivalenceReport,
+    verify_equivalence,
+    verify_transform,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Compuniformer",
+    "TransformReport",
+    "SiteReport",
+    "prepush",
+    "parse",
+    "unparse",
+    "verify_equivalence",
+    "verify_transform",
+    "EquivalenceReport",
+    "ReproError",
+    "ParseError",
+    "AnalysisError",
+    "TransformError",
+    "InterpError",
+    "SimulationError",
+    "DeadlockError",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — alias for the ``compuniformer`` CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

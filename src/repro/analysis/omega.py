@@ -1,0 +1,375 @@
+"""Integer feasibility of affine constraint systems — an "Omega test lite".
+
+The paper's dependence analysis uses Petit and the Omega test [Pugh 1991].
+This module reproduces the decision procedure stack that matters for the
+transformation:
+
+1. **Equality normalization and elimination** — GCD divisibility check per
+   equality; substitution when a unit-coefficient variable exists
+   (Gaussian elimination over the integers in the easy case).
+2. **Fourier–Motzkin elimination with shadows** — eliminating a variable
+   from the inequality system yields the *real shadow* (exact emptiness
+   certificate) and the *dark shadow* (exact non-emptiness certificate,
+   per Pugh).  When both coefficient magnitudes are 1 the shadows
+   coincide and the projection is exact.
+3. **Bounded branch-and-bound fallback** — when shadows disagree (the
+   "omega nightmare"), and all variables have finite bounds (always true
+   for dependence systems built from constant loop bounds), enumerate the
+   variable with the smallest range.
+
+The public result is a three-valued :class:`Feasibility`: YES / NO /
+MAYBE.  MAYBE only occurs for unbounded symbolic systems where the exact
+fallback cannot run; dependence analysis treats MAYBE conservatively.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .affine import Affine
+
+#: Safety valve for the branch-and-bound fallback.
+_MAX_ENUMERATION = 200_000
+
+
+class Feasibility(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    MAYBE = "maybe"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr >= 0`` (GEQ) or ``expr == 0`` (EQ) over integer variables."""
+
+    expr: Affine
+    is_equality: bool = False
+
+    @staticmethod
+    def geq0(expr: Affine) -> "Constraint":
+        return Constraint(expr, False)
+
+    @staticmethod
+    def eq0(expr: Affine) -> "Constraint":
+        return Constraint(expr, True)
+
+    @staticmethod
+    def le(lhs: Affine, rhs: Affine) -> "Constraint":
+        """lhs <= rhs."""
+        return Constraint(rhs - lhs, False)
+
+    @staticmethod
+    def ge(lhs: Affine, rhs: Affine) -> "Constraint":
+        return Constraint(lhs - rhs, False)
+
+    @staticmethod
+    def lt(lhs: Affine, rhs: Affine) -> "Constraint":
+        """lhs < rhs  ==  lhs <= rhs - 1 over the integers."""
+        return Constraint(rhs - lhs + Affine.constant(-1), False)
+
+    @staticmethod
+    def equals(lhs: Affine, rhs: Affine) -> "Constraint":
+        return Constraint(lhs - rhs, True)
+
+    def substitute(self, name: str, replacement: Affine) -> "Constraint":
+        return Constraint(self.expr.substitute(name, replacement), self.is_equality)
+
+    def normalized(self) -> Optional["Constraint"]:
+        """Divide by the GCD of coefficients.
+
+        For equalities a non-dividing constant proves infeasibility: return
+        None in that case (the caller must treat it as UNSAT).  For
+        inequalities the constant is floor-divided (tightening — sound and
+        exact over the integers).
+        """
+        coeffs = [c for _, c in self.expr.coeffs]
+        if not coeffs:
+            return self
+        g = 0
+        for c in coeffs:
+            g = math.gcd(g, abs(c))
+        if g <= 1:
+            return self
+        if self.is_equality:
+            if self.expr.const % g != 0:
+                return None
+            new = Affine(
+                tuple((v, c // g) for v, c in self.expr.coeffs),
+                self.expr.const // g,
+            )
+            return Constraint(new, True)
+        new = Affine(
+            tuple((v, c // g) for v, c in self.expr.coeffs),
+            self.expr.const // g,
+        )
+        return Constraint(new, False)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        rel = "==" if self.is_equality else ">="
+        return f"{self.expr} {rel} 0"
+
+
+def is_feasible(constraints: Sequence[Constraint]) -> Feasibility:
+    """Decide whether the integer constraint system has a solution."""
+    return _solve(list(constraints), depth=0)
+
+
+def _solve(constraints: List[Constraint], depth: int) -> Feasibility:
+    if depth > 64:  # pathological recursion guard
+        return Feasibility.MAYBE
+
+    # --- normalize; constant constraints resolve immediately
+    ineqs: List[Affine] = []  # each means expr >= 0
+    eqs: List[Affine] = []
+    for c in constraints:
+        n = c.normalized()
+        if n is None:
+            return Feasibility.NO
+        if n.expr.is_constant:
+            if n.is_equality and n.expr.const != 0:
+                return Feasibility.NO
+            if not n.is_equality and n.expr.const < 0:
+                return Feasibility.NO
+            continue
+        (eqs if n.is_equality else ineqs).append(n.expr)
+
+    # --- eliminate equalities
+    if eqs:
+        expr = eqs[0]
+        # pick a variable with |coeff| == 1 if any: exact substitution
+        unit = next((v for v, c in expr.coeffs if abs(c) == 1), None)
+        if unit is not None:
+            c = expr.coeff(unit)
+            # c*unit + rest = 0  =>  unit = -rest/c ; with |c|==1:
+            rest = Affine.from_dict(
+                {v: k for v, k in expr.coeffs if v != unit}, expr.const
+            )
+            replacement = rest.scale(-1 if c == 1 else 1)
+            new = [Constraint.eq0(e.substitute(unit, replacement)) for e in eqs[1:]]
+            new += [Constraint.geq0(e.substitute(unit, replacement)) for e in ineqs]
+            return _solve(new, depth + 1)
+        # no unit coefficient: GCD test already applied by normalized();
+        # use Pugh's substitution with an auxiliary variable.
+        v0, c0 = min(expr.coeffs, key=lambda vc: abs(vc[1]))
+        m = abs(c0) + 1
+        if m > 16:
+            # The residue split grows coefficients on recursion, so large m
+            # explodes.  Loop-subscript coefficients are tiny (the
+            # transformation itself requires unit strides), and dependence
+            # systems from constant loop bounds are *bounded* — decide those
+            # exactly by enumeration; only unbounded pathological systems
+            # answer MAYBE (sound: treated conservatively).
+            all_ineqs = list(ineqs)
+            for e in eqs:
+                all_ineqs.append(e)
+                all_ineqs.append(-e)
+            exact = _enumerate(all_ineqs, _variable_bounds(all_ineqs))
+            return exact if exact is not None else Feasibility.MAYBE
+        sigma = f"$t{depth}"
+        # Exact case split: write v0 = m*sigma + r and enumerate the residue
+        # r in [0, m).  Each branch gains a unit-coefficient opportunity
+        # after normalization (Pugh's mod-elimination, in branch form —
+        # bounded and small: |c0|+1 branches).
+        results: List[Feasibility] = []
+        for r in range(m):
+            repl = Affine.from_dict({sigma: m}, r)
+            new = [Constraint.eq0(e.substitute(v0, repl)) for e in eqs]
+            new += [Constraint.geq0(e.substitute(v0, repl)) for e in ineqs]
+            res = _solve(new, depth + 1)
+            if res is Feasibility.YES:
+                return Feasibility.YES
+            results.append(res)
+        if all(r is Feasibility.NO for r in results):
+            return Feasibility.NO
+        return Feasibility.MAYBE
+
+    if not ineqs:
+        return Feasibility.YES
+
+    # --- choose elimination variable: fewest (lower x upper) pairings
+    variables = sorted({v for e in ineqs for v in e.variables})
+    best_var, best_cost = None, None
+    for v in variables:
+        lowers = sum(1 for e in ineqs if e.coeff(v) > 0)
+        uppers = sum(1 for e in ineqs if e.coeff(v) < 0)
+        cost = lowers * uppers - lowers - uppers
+        if best_cost is None or cost < best_cost:
+            best_var, best_cost = v, cost
+    assert best_var is not None
+    v = best_var
+
+    lowers = [e for e in ineqs if e.coeff(v) > 0]  # a*v >= -rest  (lower bnd)
+    uppers = [e for e in ineqs if e.coeff(v) < 0]  # b*v <= rest   (upper bnd)
+    others = [e for e in ineqs if e.coeff(v) == 0]
+
+    if not lowers or not uppers:
+        # v unbounded on one side: any remaining system decides feasibility
+        return _solve([Constraint.geq0(e) for e in others], depth + 1)
+
+    real_shadow: List[Constraint] = [Constraint.geq0(e) for e in others]
+    dark_shadow: List[Constraint] = [Constraint.geq0(e) for e in others]
+    exact = True
+    for lo in lowers:
+        a = lo.coeff(v)
+        lo_rest = _without(lo, v)  # a*v + lo_rest >= 0  ->  v >= -lo_rest/a
+        for up in uppers:
+            bneg = up.coeff(v)
+            b_abs = -bneg
+            up_rest = _without(up, v)  # -b*v + up_rest >= 0 -> v <= up_rest/b
+            # real shadow: b*(-lo_rest) <= a*(up_rest)
+            combined = up_rest.scale(a) + lo_rest.scale(b_abs)
+            real_shadow.append(Constraint.geq0(combined))
+            # dark shadow: combined >= (a-1)(b-1)
+            slack = (a - 1) * (b_abs - 1)
+            dark_shadow.append(
+                Constraint.geq0(combined + Affine.constant(-slack))
+            )
+            if slack != 0:
+                exact = False
+
+    real = _solve(real_shadow, depth + 1)
+    if real is Feasibility.NO:
+        return Feasibility.NO
+    if exact:
+        return real
+    dark = _solve(dark_shadow, depth + 1)
+    if dark is Feasibility.YES:
+        return Feasibility.YES
+
+    # --- nightmare region: exact enumeration if bounded
+    bounds = _variable_bounds(ineqs)
+    enum = _enumerate(ineqs, bounds)
+    if enum is not None:
+        return enum
+    return Feasibility.MAYBE
+
+
+def _without(expr: Affine, name: str) -> Affine:
+    return Affine.from_dict(
+        {v: c for v, c in expr.coeffs if v != name}, expr.const
+    )
+
+
+def _variable_bounds(
+    ineqs: Sequence[Affine],
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Derive per-variable [lo, hi] boxes from single-variable constraints.
+
+    Returns None when some variable lacks a finite single-variable bound on
+    either side (we then refuse to enumerate).  Multi-variable constraints
+    are used only as the feasibility check during enumeration.
+    """
+    bounds: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+    variables = {v for e in ineqs for v in e.variables}
+    for v in variables:
+        bounds[v] = (None, None)
+    for e in ineqs:
+        if len(e.coeffs) != 1:
+            continue
+        (v, c), = e.coeffs
+        if c > 0:  # c*v + k >= 0  ->  v >= ceil(-k/c)
+            lo = -(e.const // c)
+            old_lo, old_hi = bounds[v]
+            bounds[v] = (lo if old_lo is None else max(old_lo, lo), old_hi)
+        else:  # c*v + k >= 0 with c<0 -> v <= floor(k/-c)
+            hi = e.const // -c
+            old_lo, old_hi = bounds[v]
+            bounds[v] = (old_lo, hi if old_hi is None else min(old_hi, hi))
+    out: Dict[str, Tuple[int, int]] = {}
+    for v, (lo, hi) in bounds.items():
+        if lo is None or hi is None:
+            return None
+        out[v] = (lo, hi)
+    return out
+
+
+def _enumerate(
+    ineqs: Sequence[Affine], bounds: Optional[Dict[str, Tuple[int, int]]]
+) -> Optional[Feasibility]:
+    if bounds is None:
+        return None
+    total = 1
+    for lo, hi in bounds.values():
+        if hi < lo:
+            return Feasibility.NO
+        total *= hi - lo + 1
+        if total > _MAX_ENUMERATION:
+            return None
+
+    names = list(bounds)
+
+    def rec(i: int, env: Dict[str, int]) -> bool:
+        if i == len(names):
+            return all(e.evaluate(env) >= 0 for e in ineqs)
+        v = names[i]
+        lo, hi = bounds[v]
+        for val in range(lo, hi + 1):
+            env[v] = val
+            # prune: evaluate fully-bound constraints
+            ok = True
+            for e in ineqs:
+                if all(u in env for u in e.variables):
+                    if e.evaluate(env) < 0:
+                        ok = False
+                        break
+            if ok and rec(i + 1, env):
+                return True
+        env.pop(v, None)
+        return False
+
+    return Feasibility.YES if rec(0, {}) else Feasibility.NO
+
+
+def solve_sample(
+    constraints: Sequence[Constraint],
+) -> Optional[Dict[str, int]]:
+    """Return one integer solution if the system is bounded and feasible.
+
+    Used by tests to cross-validate :func:`is_feasible` and by diagnostics
+    to show a witness iteration pair for a reported dependence.
+    """
+    ineqs: List[Affine] = []
+    for c in constraints:
+        n = c.normalized()
+        if n is None:
+            return None
+        if n.is_equality:
+            ineqs.append(n.expr)
+            ineqs.append(-n.expr)
+        else:
+            ineqs.append(n.expr)
+    const_ok = all(e.const >= 0 for e in ineqs if e.is_constant)
+    if not const_ok:
+        return None
+    ineqs = [e for e in ineqs if not e.is_constant]
+    bounds = _variable_bounds(ineqs)
+    if bounds is None:
+        return None
+    total = 1
+    for lo, hi in bounds.values():
+        if hi < lo:
+            return None
+        total *= hi - lo + 1
+        if total > _MAX_ENUMERATION:
+            return None
+    names = list(bounds)
+
+    def rec(i: int, env: Dict[str, int]) -> Optional[Dict[str, int]]:
+        if i == len(names):
+            if all(e.evaluate(env) >= 0 for e in ineqs):
+                return dict(env)
+            return None
+        v = names[i]
+        lo, hi = bounds[v]
+        for val in range(lo, hi + 1):
+            env[v] = val
+            found = rec(i + 1, env)
+            if found is not None:
+                return found
+        env.pop(v, None)
+        return None
+
+    return rec(0, {})

@@ -1,0 +1,179 @@
+"""Quasi-affine forms: affine algebra extended with ``mod``/``div`` terms.
+
+The indirect pattern's copy loop (paper Fig. 3) decomposes a flat index
+into coordinates with integer division and remainder::
+
+    tx = mod(ix - 1, n1) + 1
+    ty = (ix - 1) / n1 + 1
+    as(tx, ty, iy) = at(ix)
+
+Flattening ``as(tx, ty, iy)`` column-major gives
+``mod(ix-1, n1) + n1*div(ix-1, n1) + n1*n2*(iy-1)``, and for a
+non-negative dividend the identity ``mod(x, m) + m*div(x, m) == x``
+collapses it back to ``(ix-1) + n1*n2*(iy-1)`` — a plain affine form the
+copy-elimination analysis can verify.
+
+This module represents ``mod(e, m)`` / ``div(e, m)`` (``e`` affine, ``m``
+a positive constant) as opaque synthetic variables inside an
+:class:`~repro.analysis.affine.Affine`, and implements the collapse with
+a non-negativity check driven by variable boxes.
+
+Fortran's ``MOD`` and ``/`` truncate toward zero; for non-negative
+dividends they coincide with the floor versions the identity needs, which
+is why the collapse demands a provable ``e >= 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import NotAffineError
+from ..lang.ast_nodes import BinOp, Expr, FuncCall, IntLit, UnaryOp, VarRef
+from .affine import Affine
+
+
+@dataclass(frozen=True)
+class OpaqueTerm:
+    """A synthetic variable standing for ``mod(base, modulus)`` or
+    ``div(base, modulus)``."""
+
+    kind: str  # 'mod' | 'div'
+    base: Affine
+    modulus: int
+
+    def key(self) -> str:
+        return f"${self.kind}({self.base}|{self.modulus})"
+
+
+#: Mapping from synthetic variable name to its definition.
+TermTable = Dict[str, OpaqueTerm]
+
+
+def to_quasi_affine(
+    expr: Expr, params: Optional[Mapping[str, int]] = None
+) -> Tuple[Affine, TermTable]:
+    """Like :func:`~repro.analysis.affine.to_affine` but folding
+    ``mod(e, m)`` and ``e / m`` (non-exact) into opaque terms."""
+    params = params or {}
+    table: TermTable = {}
+
+    def opaque(kind: str, base: Affine, modulus: int) -> Affine:
+        if modulus <= 0:
+            raise NotAffineError("mod/div with non-positive modulus")
+        term = OpaqueTerm(kind, base, modulus)
+        name = term.key()
+        table[name] = term
+        return Affine.variable(name)
+
+    def rec(e: Expr) -> Affine:
+        if isinstance(e, IntLit):
+            return Affine.constant(e.value)
+        if isinstance(e, VarRef):
+            if e.name in params:
+                return Affine.constant(params[e.name])
+            return Affine.variable(e.name)
+        if isinstance(e, UnaryOp) and e.op == "-":
+            return -rec(e.operand)
+        if isinstance(e, BinOp):
+            if e.op == "+":
+                return rec(e.left) + rec(e.right)
+            if e.op == "-":
+                return rec(e.left) - rec(e.right)
+            if e.op == "*":
+                left, right = rec(e.left), rec(e.right)
+                if left.is_constant:
+                    return right.scale(left.const)
+                if right.is_constant:
+                    return left.scale(right.const)
+                raise NotAffineError("product of two variables")
+            if e.op == "/":
+                left, right = rec(e.left), rec(e.right)
+                if not right.is_constant or right.const == 0:
+                    raise NotAffineError("division by non-constant")
+                exact = left.exact_div(right.const)
+                if exact is not None:
+                    return exact
+                if left.is_constant:
+                    return Affine.constant(int(left.const / right.const))
+                return opaque("div", left, right.const)
+            raise NotAffineError(f"operator {e.op!r}")
+        if isinstance(e, FuncCall) and e.name == "mod" and len(e.args) == 2:
+            left, right = rec(e.args[0]), rec(e.args[1])
+            if not right.is_constant or right.const == 0:
+                raise NotAffineError("mod by non-constant")
+            if left.is_constant:
+                import math
+
+                return Affine.constant(int(math.fmod(left.const, right.const)))
+            return opaque("mod", left, right.const)
+        raise NotAffineError(f"{type(e).__name__} is not quasi-affine")
+
+    return rec(expr), table
+
+
+def collapse_divmod(
+    form: Affine,
+    table: TermTable,
+    boxes: Optional[Mapping[str, Tuple[Optional[int], Optional[int]]]] = None,
+) -> Affine:
+    """Apply ``c*mod(e,m) + c*m*div(e,m) -> c*e`` wherever provable.
+
+    The identity requires ``e >= 0`` over the iteration domain, checked by
+    interval arithmetic over ``boxes`` (variable -> inclusive numeric
+    bounds, None = unknown).  Pairs that cannot be proven stay opaque.
+    Returns a plain affine form when every opaque term collapses; raises
+    :class:`NotAffineError` if opaque terms remain.
+    """
+    boxes = boxes or {}
+    coeffs = form.as_dict()
+    const = form.const
+
+    # group opaque terms by (base, modulus)
+    groups: Dict[Tuple[str, int], Dict[str, str]] = {}
+    for name in list(coeffs):
+        term = table.get(name)
+        if term is None:
+            continue
+        key = (str(term.base), term.modulus)
+        groups.setdefault(key, {})[term.kind] = name
+
+    for (base_key, modulus), kinds in groups.items():
+        if "mod" not in kinds or "div" not in kinds:
+            continue
+        mod_name, div_name = kinds["mod"], kinds["div"]
+        c_mod = coeffs.get(mod_name, 0)
+        c_div = coeffs.get(div_name, 0)
+        if c_mod == 0 or c_div != c_mod * modulus:
+            continue
+        base = table[mod_name].base
+        if not _provably_nonnegative(base, boxes):
+            continue
+        # replace: remove both terms, add c_mod * base
+        del coeffs[mod_name]
+        del coeffs[div_name]
+        for v, c in base.coeffs:
+            coeffs[v] = coeffs.get(v, 0) + c_mod * c
+        const += c_mod * base.const
+
+    result = Affine.from_dict(coeffs, const)
+    for name in result.variables:
+        if name in table:
+            raise NotAffineError(
+                f"opaque term {name} could not be collapsed to affine form"
+            )
+    return result
+
+
+def _provably_nonnegative(
+    expr: Affine, boxes: Mapping[str, Tuple[Optional[int], Optional[int]]]
+) -> bool:
+    """Interval lower bound of an affine form is >= 0."""
+    lo = expr.const
+    for v, c in expr.coeffs:
+        b_lo, b_hi = boxes.get(v, (None, None))
+        bound = b_lo if c > 0 else b_hi
+        if bound is None:
+            return False
+        lo += c * bound
+    return lo >= 0

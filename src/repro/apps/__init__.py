@@ -1,0 +1,58 @@
+"""Workload programs: the paper's test program plus the §2 example domains.
+
+Each builder returns an :class:`~repro.apps.base.AppSpec` bundling the
+mini-Fortran source with the metadata the harness, verifier, and tests
+need.  :data:`APP_BUILDERS` maps names to builders for the CLI and the
+workload ablation.
+"""
+
+from typing import Callable, Dict
+
+from .base import AppSpec, mix_stages, stage_decls  # noqa: F401
+from .fft import fft_transpose  # noqa: F401
+from .figure2 import figure2_kernel  # noqa: F401
+from .indirect import indirect_external_kernel, indirect_kernel  # noqa: F401
+from .lu import lu_panel  # noqa: F401
+from .nodeloop import nodeloop_kernel  # noqa: F401
+from .sort import sample_sort_exchange  # noqa: F401
+from .stencil import adi_sweep  # noqa: F401
+
+#: name -> zero-config builder (all builders accept keyword overrides)
+APP_BUILDERS: Dict[str, Callable[..., AppSpec]] = {
+    "figure2": figure2_kernel,
+    "indirect": indirect_kernel,
+    "indirect-external": indirect_external_kernel,
+    "fft": fft_transpose,
+    "sort": sample_sort_exchange,
+    "stencil": adi_sweep,
+    "lu": lu_panel,
+    "nodeloop": nodeloop_kernel,
+}
+
+
+def build_app(name: str, **overrides) -> AppSpec:
+    """Instantiate a workload by name with optional parameter overrides."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {sorted(APP_BUILDERS)}"
+        ) from None
+    return builder(**overrides)
+
+
+__all__ = [
+    "AppSpec",
+    "APP_BUILDERS",
+    "build_app",
+    "figure2_kernel",
+    "indirect_kernel",
+    "indirect_external_kernel",
+    "fft_transpose",
+    "sample_sort_exchange",
+    "adi_sweep",
+    "lu_panel",
+    "nodeloop_kernel",
+    "mix_stages",
+    "stage_decls",
+]

@@ -1,0 +1,70 @@
+"""Multi-dimensional FFT transpose step (one of §2's motivating workloads).
+
+A distributed 2-D FFT computes the first-dimension butterflies locally,
+then *transposes* the matrix across ranks with ``MPI_ALLTOALL`` before
+the second-dimension pass.  The butterfly arithmetic is modeled by the
+integer mixing chain (the transformation cares about the loop/array
+structure, not the twiddle factors); the consumer pass after the
+exchange reads the received array, so correctness of the early receives
+is actually load-bearing.
+
+The computation nest is ``do ix (rows) / do iy (columns)`` with the node
+loop (``iy``, the partitioned dimension) innermost — scheme A: every tile
+finalizes a slice of *every* partition, producing the paper's Figure 4
+pairwise exchange per tile.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, mix_stages, require_divisible, stage_decls
+
+
+def fft_transpose(
+    n: int = 64,
+    nranks: int = 8,
+    steps: int = 3,
+    stages: int = 4,
+) -> AppSpec:
+    """Build the FFT-transpose workload (``n`` x ``n`` per rank)."""
+    require_divisible(n, nranks, "fft: matrix order vs ranks")
+    body = mix_stages(
+        "ix * 23 + iy * 101 + it * 7 + mynode() * 53",
+        stages,
+        result="as(ix, iy)",
+        indent="        ",
+    )
+    source = f"""
+program ffttranspose
+  integer, parameter :: n = {n}, np = {nranks}, nt = {steps}
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: u(1:n, 1:n)
+  integer :: it, ix, iy, ierr
+{stage_decls(stages)}
+  do it = 1, nt
+    do ix = 1, n
+      do iy = 1, n
+{body}      enddo
+    enddo
+    call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+    do ix = 1, n
+      do iy = 1, n
+        u(ix, iy) = mod(ar(iy, ix) * 3 + u(ix, iy) + it, 32749)
+      enddo
+    enddo
+  enddo
+end program ffttranspose
+"""
+    return AppSpec(
+        name="fft",
+        description=(
+            "2-D FFT transpose step: local butterflies then alltoall "
+            "transpose (direct pattern, scheme A / Figure 4)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="direct",
+        scheme="A",
+        check_arrays=("ar", "u", "as"),
+        params={"n": n, "steps": steps, "stages": stages},
+    )

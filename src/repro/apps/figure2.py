@@ -1,0 +1,61 @@
+"""The paper's Figure 2(a) kernel — the canonical direct pattern.
+
+A 1-D array is recomputed every outer time step and exchanged with
+``MPI_ALLTOALL``; the computation loop *is* the node loop (it sweeps the
+partitioned dimension), so the transformation tiles it directly —
+scheme B, where each tile's block is owned by a single destination rank
+(the congestion-prone shape §3.5 discusses; Figure 2(b) shows exactly
+this code after transformation).
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, mix_stages, require_divisible, stage_decls
+
+
+def figure2_kernel(
+    n: int = 512,
+    nranks: int = 8,
+    steps: int = 4,
+    stages: int = 4,
+) -> AppSpec:
+    """Build the Figure 2(a) program.
+
+    ``n`` elements per rank (must be divisible by ``nranks``), ``steps``
+    outer iterations (each ending in one alltoall), ``stages`` mixing
+    stages per element (compute intensity).
+    """
+    require_divisible(n, nranks, "figure2: array length vs ranks")
+    body = mix_stages(
+        "ix * 3 + iy * 17 + mynode() * 29",
+        stages,
+        result="as(ix)",
+        indent="      ",
+    )
+    source = f"""
+program figure2
+  integer, parameter :: nx = {n}, np = {nranks}, nt = {steps}
+  integer :: as(1:nx)
+  integer :: ar(1:nx)
+  integer :: iy, ix, ierr
+{stage_decls(stages)}
+  do iy = 1, nt
+    do ix = 1, nx
+{body}    enddo
+    call mpi_alltoall(as, nx / np, 0, ar, nx / np, 0, 0, ierr)
+  enddo
+end program figure2
+"""
+    return AppSpec(
+        name="figure2",
+        description=(
+            "paper Figure 2(a): 1-D kernel whose computation loop sweeps "
+            "the partitioned dimension (direct pattern, scheme B)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="direct",
+        scheme="B",
+        check_arrays=("ar", "as"),
+        params={"n": n, "steps": steps, "stages": stages},
+    )

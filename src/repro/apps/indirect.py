@@ -1,0 +1,148 @@
+"""The paper's §4 evaluation program — the indirect compute-copy pattern.
+
+An outer loop calls a producer ``P`` that fills a temporary ``At``, then a
+copy loop ``ℓcp`` scatters ``At`` into a slab of the 3-D send array ``As``
+(Figure 3(a)'s coordinate-decomposed copy).  The transformation removes
+the copy loop and sends each ``At`` slab straight to its destination
+(Figure 3(b)).
+
+Two variants:
+
+* :func:`indirect_kernel` — the producer is an in-language subroutine, so
+  the interprocedural analysis can *see* that it writes ``At`` (fully
+  automatic path);
+* :func:`indirect_external_kernel` — the producer is a registered
+  external (compiled library, per the paper), so the detector must ask
+  the oracle whether ``P`` mutates its argument — the semi-automatic path
+  of §3.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.callinfo import DictOracle
+from ..interp.procedures import ExternalRegistry, make_producer
+from .base import AppSpec, mix_stages, require_divisible, stage_decls
+
+
+def _source(n: int, nranks: int, stages: int, with_subroutine: bool) -> str:
+    producer_body = mix_stages(
+        "i * 13 + step * 7 + mynode() * 31",
+        stages,
+        result="buf(i)",
+        indent="    ",
+    )
+    sub = (
+        f"""
+subroutine producer(step, buf)
+  integer :: step
+  integer :: buf(1:{n * n})
+  integer :: i
+{stage_decls(stages)}
+  do i = 1, {n * n}
+{producer_body}  enddo
+end subroutine producer
+"""
+        if with_subroutine
+        else ""
+    )
+    return f"""
+program indirectk
+  integer, parameter :: n = {n}, np = {nranks}
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program indirectk
+{sub}"""
+
+
+def indirect_kernel(
+    n: int = 16,
+    nranks: int = 8,
+    stages: int = 4,
+) -> AppSpec:
+    """Paper §4 test program with a visible (in-language) producer."""
+    require_divisible(n, nranks, "indirect: cube edge vs ranks")
+    require_divisible(n * n * n, nranks, "indirect: cube size vs ranks")
+    return AppSpec(
+        name="indirect",
+        description=(
+            "paper §4 indirect-pattern test program (Figure 3(a) shape): "
+            "producer fills At, copy loop scatters into 3-D As"
+        ),
+        source=_source(n, nranks, stages, with_subroutine=True),
+        nranks=nranks,
+        kind="indirect",
+        scheme="slab",
+        check_arrays=("ar",),
+        dead_arrays=("as",),
+        params={"n": n, "stages": stages},
+    )
+
+
+def indirect_external_kernel(
+    n: int = 16,
+    nranks: int = 8,
+    stages: int = 4,
+    work_per_element: float = 60e-9,
+) -> AppSpec:
+    """Paper §4 program with the producer as an *external* library routine.
+
+    The detector cannot see into the producer, so the app carries a
+    :class:`~repro.analysis.callinfo.DictOracle` holding the user's
+    answer ("yes, ``producer`` writes argument 2") and an
+    :class:`~repro.interp.procedures.ExternalRegistry` implementing it in
+    Python.  The implementation reproduces :func:`mix_stages` integer
+    arithmetic exactly so both variants compute identical data.
+    """
+    require_divisible(n, nranks, "indirect-external: cube edge vs ranks")
+    slab = n * n
+
+    def fill(step: int, rank: int, size: int, flat: np.ndarray) -> None:
+        i = np.arange(1, slab + 1, dtype=np.int64)
+        v = i * 13 + step * 7 + rank * 31
+        from .base import _STAGE_CONSTANTS
+
+        for k in range(1, stages + 1):
+            m, c, p = _STAGE_CONSTANTS[(k - 1) % len(_STAGE_CONSTANTS)]
+            v = (v * m + (c + k)) % p
+        flat[:] = v
+
+    registry = ExternalRegistry(
+        [
+            make_producer(
+                "producer",
+                fill,
+                work_per_element=work_per_element,
+                slab_size=slab,
+            )
+        ]
+    )
+    return AppSpec(
+        name="indirect-external",
+        description=(
+            "paper §4 program with the producer as a compiled library "
+            "routine: the oracle answers the §3.1 user query"
+        ),
+        source=_source(n, nranks, stages, with_subroutine=False),
+        nranks=nranks,
+        kind="indirect",
+        scheme="slab",
+        check_arrays=("ar",),
+        dead_arrays=("as",),
+        externals=registry,
+        oracle=DictOracle(registry.oracle_answers()),
+        params={"n": n, "stages": stages},
+    )

@@ -1,0 +1,62 @@
+"""LU-factorization panel redistribution (§2 lists LU as a target).
+
+Block LU on a cluster computes a panel of column updates locally, then
+redistributes the panel across ranks before the trailing update.  The
+kernel computes a rank-1-style update ``as(i, j) = piv(i) * fac(j)``
+variant (integer, branch-free) into a panel whose columns are the
+partitioned dimension, then exchanges it.
+
+The arrays use *zero-based* bounds (``0 : n - 1``), exercising the
+non-default lower-bound paths in layout resolution, section generation
+and sequence association.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, require_divisible
+
+
+def lu_panel(
+    n: int = 48,
+    nranks: int = 8,
+    steps: int = 2,
+) -> AppSpec:
+    """Build the LU panel workload (``n`` x ``n`` panel, 0-based bounds)."""
+    require_divisible(n, nranks, "lu: panel order vs ranks")
+    source = f"""
+program lupanel
+  integer, parameter :: n = {n}, np = {nranks}, nt = {steps}
+  integer :: piv(0:n - 1)
+  integer :: fac(0:n - 1)
+  integer :: as(0:n - 1, 0:n - 1)
+  integer :: ar(0:n - 1, 0:n - 1)
+  integer :: it, ix, iy, ierr
+
+  do ix = 0, n - 1
+    piv(ix) = mod(ix * 31 + mynode() * 7 + 3, 509)
+    fac(ix) = mod(ix * 37 + mynode() * 11 + 5, 521)
+  enddo
+
+  do it = 1, nt
+    do ix = 0, n - 1
+      do iy = 0, n - 1
+        as(ix, iy) = mod(piv(ix) * fac(iy) + it * 101, 262144)
+      enddo
+    enddo
+    call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+  enddo
+end program lupanel
+"""
+    return AppSpec(
+        name="lu",
+        description=(
+            "LU panel redistribution: rank-1 panel update with 0-based "
+            "array bounds (direct pattern, scheme A)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="direct",
+        scheme="A",
+        check_arrays=("ar", "as", "piv", "fac"),
+        params={"n": n, "steps": steps},
+    )

@@ -1,0 +1,63 @@
+"""Node-loop-outermost kernel — the §3.5 interchange case (Ablation E).
+
+When the loop traversing the send array's *last* (partitioned) dimension
+is outermost, tiling it makes every tile's traffic target a single
+destination rank, congesting its NIC.  The paper's remedy is to
+interchange the node loop inward when dependences allow; when they do
+not, the congested schedule is still correct, just slower.
+
+This kernel writes ``as(ix, iy)`` under ``do iy (outer) / do ix
+(inner)`` — ``iy`` drives the last dimension.  The transformation with
+``interchange="auto"`` swaps the loops and emits scheme A; with
+``interchange="never"`` it keeps the order and emits the congested
+scheme B, letting Ablation E measure exactly the cost §3.5 warns about.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, mix_stages, require_divisible, stage_decls
+
+
+def nodeloop_kernel(
+    n: int = 64,
+    nranks: int = 8,
+    steps: int = 2,
+    stages: int = 4,
+) -> AppSpec:
+    """Build the node-loop-outermost workload (``n`` x ``n``)."""
+    require_divisible(n, nranks, "nodeloop: matrix order vs ranks")
+    body = mix_stages(
+        "ix * 43 + iy * 71 + it * 5 + mynode() * 37",
+        stages,
+        result="as(ix, iy)",
+        indent="        ",
+    )
+    source = f"""
+program nodeloop
+  integer, parameter :: n = {n}, np = {nranks}, nt = {steps}
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: it, ix, iy, ierr
+{stage_decls(stages)}
+  do it = 1, nt
+    do iy = 1, n
+      do ix = 1, n
+{body}      enddo
+    enddo
+    call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+  enddo
+end program nodeloop
+"""
+    return AppSpec(
+        name="nodeloop",
+        description=(
+            "node loop outermost: interchange='auto' yields scheme A, "
+            "interchange='never' the congested scheme B (§3.5, Ablation E)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="direct",
+        scheme="A",  # with the default auto-interchange
+        check_arrays=("ar", "as"),
+        params={"n": n, "steps": steps, "stages": stages},
+    )

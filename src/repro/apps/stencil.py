@@ -1,0 +1,68 @@
+"""Finite-difference / ADI transpose sweep (another §2 workload).
+
+Alternating-Direction-Implicit solvers sweep one dimension locally,
+transpose with ``MPI_ALLTOALL``, then sweep the other.  Here the local
+sweep applies an integer 5-point stencil from a ghost-padded state array
+``u`` into the send array, the exchange transposes, and the state update
+consumes the received values — so each time step's correctness depends
+on the previous step's communication having delivered the right data.
+
+Unlike the hash kernels, the computation nest *reads another array*
+(``u``), exercising the analysis path where the RHS contains array
+references that are not the indirect pattern's temporary.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, require_divisible
+
+
+def adi_sweep(
+    n: int = 64,
+    nranks: int = 8,
+    steps: int = 3,
+) -> AppSpec:
+    """Build the ADI-style stencil workload on an ``n`` x ``n`` grid."""
+    require_divisible(n, nranks, "stencil: grid order vs ranks")
+    source = f"""
+program adisweep
+  integer, parameter :: n = {n}, np = {nranks}, nt = {steps}
+  integer :: u(0:n + 1, 0:n + 1)
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: it, ix, iy, ierr
+
+  do ix = 0, n + 1
+    do iy = 0, n + 1
+      u(ix, iy) = mod(ix * ix * 7 + iy * iy * 13 + ix * iy * 3 + mynode() * (ix + 5) * 17, 1024)
+    enddo
+  enddo
+
+  do it = 1, nt
+    do ix = 1, n
+      do iy = 1, n
+        as(ix, iy) = u(ix - 1, iy) + u(ix + 1, iy) + u(ix, iy - 1) + u(ix, iy + 1) - 4 * u(ix, iy)
+      enddo
+    enddo
+    call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+    do ix = 1, n
+      do iy = 1, n
+        u(ix, iy) = mod(u(ix, iy) + ar(iy, ix) + it, 65536)
+      enddo
+    enddo
+  enddo
+end program adisweep
+"""
+    return AppSpec(
+        name="stencil",
+        description=(
+            "ADI finite-difference sweep: 5-point stencil, alltoall "
+            "transpose, state update from received values (direct, scheme A)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="direct",
+        scheme="A",
+        check_arrays=("ar", "u", "as"),
+        params={"n": n, "steps": steps},
+    )

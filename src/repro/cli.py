@@ -1,0 +1,239 @@
+"""Command-line interface — the ``compuniformer`` tool.
+
+Subcommands mirror the workflow of the paper's system:
+
+``transform``  read a mini-Fortran file, pre-push it, write/print the result
+``run``        simulate a program on the virtual cluster and report timing
+``verify``     transform a program and check original/transformed equivalence
+``apps``       list the built-in workloads (with generated source on demand)
+``figure1``    regenerate the paper's Figure 1 table
+``bench``      run one or all ablation tables
+
+Examples::
+
+    compuniformer transform kernel.f90 -K 16 -o kernel_pp.f90
+    compuniformer run kernel.f90 -n 8 --network mpich-gm
+    compuniformer verify kernel.f90 -n 8
+    compuniformer figure1 --n 32
+    compuniformer bench tile_size
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import APP_BUILDERS, build_app
+from .errors import ReproError
+from .harness import (
+    ablation_network,
+    ablation_nodeloop,
+    ablation_scaling,
+    ablation_tile_size,
+    ablation_workloads,
+    bar_chart,
+    figure1,
+    measure,
+)
+from .runtime.costmodel import DEFAULT_COST_MODEL
+from .runtime.network import PRESETS
+from .transform.prepush import Compuniformer
+from .verify import verify_transform
+
+_BENCHES = {
+    "tile_size": ablation_tile_size,
+    "scaling": ablation_scaling,
+    "network": ablation_network,
+    "workloads": ablation_workloads,
+    "nodeloop": ablation_nodeloop,
+}
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _tile_size(text: str):
+    return text if text == "auto" else int(text)
+
+
+def _add_network_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--network",
+        choices=sorted(PRESETS),
+        default="mpich-gm",
+        help="network model preset (default: mpich-gm)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="compuniformer",
+        description=(
+            "Automated communication-computation overlap transformation "
+            "(Fishgold et al., ParCo 2005) with a simulated-cluster "
+            "evaluation harness."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("transform", help="pre-push a mini-Fortran program")
+    p.add_argument("file", help="input source file ('-' for stdin)")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    p.add_argument(
+        "-K",
+        "--tile-size",
+        type=_tile_size,
+        default="auto",
+        help="iterations per tile, or 'auto' (default)",
+    )
+    p.add_argument(
+        "--no-interchange",
+        action="store_true",
+        help="never interchange the node loop (§3.5 fallback)",
+    )
+    p.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the site report"
+    )
+
+    p = sub.add_parser("run", help="simulate a program on the virtual cluster")
+    p.add_argument("file")
+    p.add_argument("-n", "--nranks", type=int, required=True)
+    _add_network_arg(p)
+
+    p = sub.add_parser(
+        "verify", help="transform and check output equivalence (§4)"
+    )
+    p.add_argument("file")
+    p.add_argument("-n", "--nranks", type=int, required=True)
+    p.add_argument("-K", "--tile-size", type=_tile_size, default="auto")
+    _add_network_arg(p)
+
+    p = sub.add_parser("apps", help="list or print the built-in workloads")
+    p.add_argument("name", nargs="?", help="print this workload's source")
+
+    p = sub.add_parser("figure1", help="regenerate the paper's Figure 1")
+    p.add_argument("--n", type=int, default=32, help="cube edge (default 32)")
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument("-K", "--tile-size", type=_tile_size, default="auto")
+    p.add_argument("--cpu-scale", type=float, default=8.0)
+
+    p = sub.add_parser("bench", help="run ablation tables")
+    p.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(_BENCHES) + ["all"],
+        default="all",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "transform":
+        tool = Compuniformer(
+            tile_size=args.tile_size,
+            interchange="never" if args.no_interchange else "auto",
+        )
+        report = tool.transform(_read_source(args.file))
+        if not args.quiet:
+            print(report.describe(), file=sys.stderr)
+        text = report.unparse()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        else:
+            print(text, end="")
+        return 0 if report.transformed else 2
+
+    if args.command == "run":
+        m = measure(
+            _read_source(args.file),
+            args.nranks,
+            PRESETS[args.network],
+            cost_model=DEFAULT_COST_MODEL,
+        )
+        print(f"network:        {m.network}")
+        print(f"makespan:       {m.time:.6g} s")
+        print(f"compute (max):  {m.compute_time:.6g} s")
+        print(f"wait (max):     {m.wait_time:.6g} s")
+        print(f"mpi cpu (max):  {m.mpi_overhead:.6g} s")
+        print(f"messages:       {m.messages}")
+        print(f"bytes sent:     {m.bytes_sent}")
+        for w in m.warnings:
+            print(f"warning: {w}", file=sys.stderr)
+        return 0
+
+    if args.command == "verify":
+        equivalence, report = verify_transform(
+            _read_source(args.file),
+            args.nranks,
+            tile_size=args.tile_size,
+            network=PRESETS[args.network],
+        )
+        print(report.describe())
+        if equivalence.equivalent:
+            print(
+                f"EQUIVALENT (compared arrays: "
+                f"{', '.join(equivalence.compared_arrays)})"
+            )
+            print(
+                f"original {equivalence.time_original:.6g} s, prepush "
+                f"{equivalence.time_transformed:.6g} s "
+                f"(speedup {equivalence.speedup:.3g}x)"
+            )
+            return 0
+        print("NOT EQUIVALENT:")
+        for m in equivalence.mismatches:
+            print(f"  {m}")
+        return 1
+
+    if args.command == "apps":
+        if args.name:
+            app = build_app(args.name)
+            print(app.source, end="")
+            return 0
+        for name in sorted(APP_BUILDERS):
+            print(f"{name:20s} {build_app(name).description}")
+        return 0
+
+    if args.command == "figure1":
+        table = figure1(
+            n=args.n,
+            nranks=args.nranks,
+            tile_size=args.tile_size,
+            cpu_scale=args.cpu_scale,
+        )
+        print(table.render())
+        labels = [
+            f"{row[0]}/{row[1]}" for row in table.rows
+        ]
+        values = [float(row[3]) for row in table.rows]
+        print()
+        print(bar_chart(labels, values, unit="x"))
+        return 0
+
+    if args.command == "bench":
+        names = sorted(_BENCHES) if args.name == "all" else [args.name]
+        for name in names:
+            print(_BENCHES[name]().render())
+            print()
+        return 0
+
+    raise ReproError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

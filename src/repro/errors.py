@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch one type.  Sub-hierarchies mirror the pipeline stages:
+front end (lex/parse), analysis, transformation, and runtime simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in user source code."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        if line:
+            super().__init__(f"{message} (at line {line}, col {col})")
+        else:
+            super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser cannot build an AST from the token stream."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a program cannot be analyzed (unsupported construct)."""
+
+
+class NotAffineError(AnalysisError):
+    """Raised when an expression is not affine in the loop/symbol variables."""
+
+
+class PatternError(AnalysisError):
+    """Raised when a transformation opportunity cannot be classified."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation cannot be applied safely."""
+
+
+class InterchangeError(TransformError):
+    """Raised when a requested loop interchange is illegal."""
+
+
+class InterpError(ReproError):
+    """Raised for runtime failures inside the AST interpreter."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        super().__init__(f"{message}" + (f" (line {line})" if line else ""))
+
+
+class SimulationError(ReproError):
+    """Raised for protocol violations inside the cluster simulator."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulator detects that no rank can make progress."""
+
+
+class VerificationError(ReproError):
+    """Raised when original and transformed programs disagree."""

@@ -1,0 +1,37 @@
+"""Experiment harness: measurement runners, figure/ablation generators,
+and plain-text result tables.
+"""
+
+from .figures import (  # noqa: F401
+    ablation_network,
+    ablation_nodeloop,
+    ablation_scaling,
+    ablation_tile_size,
+    ablation_workloads,
+    figure1,
+)
+from .report import Table, bar_chart, format_seconds  # noqa: F401
+from .runner import (  # noqa: F401
+    Measurement,
+    PairResult,
+    PreparedApp,
+    measure,
+    run_pair,
+)
+
+__all__ = [
+    "figure1",
+    "ablation_tile_size",
+    "ablation_scaling",
+    "ablation_network",
+    "ablation_workloads",
+    "ablation_nodeloop",
+    "Table",
+    "bar_chart",
+    "format_seconds",
+    "Measurement",
+    "PairResult",
+    "PreparedApp",
+    "measure",
+    "run_pair",
+]

@@ -1,0 +1,207 @@
+"""Experiment execution: run original/transformed pairs over network models.
+
+:func:`measure` simulates one program once and extracts the timing
+breakdown; :func:`run_pair` transforms a workload, checks equivalence
+(an experiment on wrong data is worthless), and measures both variants
+on one network.  These are the building blocks every figure/ablation
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..apps.base import AppSpec
+from ..errors import ReproError
+from ..interp.runner import run_cluster
+from ..lang.ast_nodes import SourceFile
+from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..runtime.network import NetworkModel
+from ..transform.prepush import Compuniformer, TransformReport
+from ..verify import compare_runs
+
+
+@dataclass
+class Measurement:
+    """Timing of one program on one network."""
+
+    label: str
+    network: str
+    time: float  # makespan (max rank finish time)
+    compute_time: float  # max per-rank pure compute
+    wait_time: float  # max per-rank blocked-in-wait
+    mpi_overhead: float  # max per-rank CPU spent inside MPI calls
+    messages: int  # total messages sent across ranks
+    bytes_sent: int
+    unexpected: int  # messages that arrived before their recv was posted
+    warnings: List[str]
+
+    @property
+    def comm_cost(self) -> float:
+        """Per-rank non-compute time (wait + MPI CPU), worst rank."""
+        return self.wait_time + self.mpi_overhead
+
+
+def measure(
+    program: Union[str, SourceFile],
+    nranks: int,
+    network: NetworkModel,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    externals=None,
+    label: str = "",
+) -> Measurement:
+    """Simulate once and fold the per-rank stats into a measurement."""
+    run = run_cluster(
+        program,
+        nranks,
+        network,
+        cost_model=cost_model,
+        externals=externals,
+    )
+    stats = run.result.stats
+    return Measurement(
+        label=label,
+        network=network.name,
+        time=run.time,
+        compute_time=max((s.compute_time for s in stats), default=0.0),
+        wait_time=max((s.wait_time for s in stats), default=0.0),
+        mpi_overhead=max((s.mpi_overhead_time for s in stats), default=0.0),
+        messages=sum(s.messages_sent for s in stats),
+        bytes_sent=sum(s.bytes_sent for s in stats),
+        unexpected=sum(s.unexpected_messages for s in stats),
+        warnings=list(run.warnings),
+    )
+
+
+@dataclass
+class PairResult:
+    """Original vs. pre-pushed measurements of one workload on one network."""
+
+    app: str
+    network: str
+    original: Measurement
+    prepush: Measurement
+    transform: TransformReport
+    equivalent: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.prepush.time <= 0:
+            return float("inf")
+        return self.original.time / self.prepush.time
+
+    @property
+    def overhead_reduction(self) -> float:
+        """Fraction of the original communication cost eliminated."""
+        base = self.original.comm_cost
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.prepush.comm_cost / base
+
+
+class PreparedApp:
+    """A workload transformed once, reusable across network sweeps.
+
+    Transforming and (especially) equivalence-checking are not free;
+    sweeps over network parameters reuse the same pair of ASTs.
+    """
+
+    def __init__(
+        self,
+        app: AppSpec,
+        *,
+        tile_size: Union[int, str] = "auto",
+        interchange: str = "auto",
+        verify: bool = True,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.app = app
+        self.cost_model = cost_model
+        tool = Compuniformer(
+            tile_size=tile_size,
+            oracle=app.oracle,
+            interchange=interchange,
+        )
+        self.transform = tool.transform(app.source)
+        if not self.transform.transformed:
+            raise ReproError(
+                f"workload {app.name!r} was not transformed:\n  "
+                + "\n  ".join(r.reason for r in self.transform.rejections)
+            )
+        self.equivalent = True
+        if verify:
+            self._verify()
+
+    def _verify(self) -> None:
+        from ..runtime.network import IDEAL
+
+        a = run_cluster(
+            self.app.source,
+            self.app.nranks,
+            IDEAL,
+            cost_model=self.cost_model,
+            externals=self.app.externals,
+        )
+        b = run_cluster(
+            self.transform.source,
+            self.app.nranks,
+            IDEAL,
+            cost_model=self.cost_model,
+            externals=self.app.externals,
+        )
+        report = compare_runs(a, b, skip=self.transform.dead_arrays)
+        self.equivalent = report.equivalent
+        if not report.equivalent:
+            raise ReproError(
+                f"transformed {self.app.name!r} is NOT equivalent:\n  "
+                + "\n  ".join(report.mismatches[:5])
+            )
+
+    def run_on(self, network: NetworkModel) -> PairResult:
+        """Measure both variants on one network model."""
+        original = measure(
+            self.app.source,
+            self.app.nranks,
+            network,
+            cost_model=self.cost_model,
+            externals=self.app.externals,
+            label=f"{self.app.name}/original",
+        )
+        prepush = measure(
+            self.transform.source,
+            self.app.nranks,
+            network,
+            cost_model=self.cost_model,
+            externals=self.app.externals,
+            label=f"{self.app.name}/prepush",
+        )
+        return PairResult(
+            app=self.app.name,
+            network=network.name,
+            original=original,
+            prepush=prepush,
+            transform=self.transform,
+            equivalent=self.equivalent,
+        )
+
+
+def run_pair(
+    app: AppSpec,
+    network: NetworkModel,
+    *,
+    tile_size: Union[int, str] = "auto",
+    interchange: str = "auto",
+    verify: bool = True,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> PairResult:
+    """One-shot convenience: prepare + measure on a single network."""
+    prepared = PreparedApp(
+        app,
+        tile_size=tile_size,
+        interchange=interchange,
+        verify=verify,
+        cost_model=cost_model,
+    )
+    return prepared.run_on(network)

@@ -1,0 +1,24 @@
+"""AST interpreter and cluster-run helpers."""
+
+from .interpreter import Frame, Interpreter  # noqa: F401
+from .procedures import (  # noqa: F401
+    ExternalCall,
+    ExternalProc,
+    ExternalRegistry,
+    make_producer,
+)
+from .runner import ClusterRun, run_cluster, run_serial  # noqa: F401
+from .values import FArray  # noqa: F401
+
+__all__ = [
+    "Interpreter",
+    "Frame",
+    "FArray",
+    "ExternalProc",
+    "ExternalRegistry",
+    "ExternalCall",
+    "make_producer",
+    "run_cluster",
+    "run_serial",
+    "ClusterRun",
+]

@@ -1,0 +1,81 @@
+"""Fortran-90 subset frontend: lexer, parser, AST, unparser, visitors.
+
+This package is the reproduction of the *Nestor* transformation framework
+the paper builds on: a parser, a transformable IR, and an unparser, plus
+the traversal utilities the Compuniformer passes need.
+
+Typical use::
+
+    from repro.lang import parse, unparse
+
+    tree = parse(source_text)
+    ...   # analyze / transform
+    print(unparse(tree))
+"""
+
+from .ast_nodes import (  # noqa: F401
+    ArrayRef,
+    Assign,
+    BinOp,
+    BoolLit,
+    CallStmt,
+    Comment,
+    ContinueStmt,
+    CycleStmt,
+    DimSpec,
+    DoLoop,
+    EntityDecl,
+    ExitStmt,
+    Expr,
+    ExternalDecl,
+    FuncCall,
+    If,
+    ImplicitNone,
+    INTRINSICS,
+    IntLit,
+    Node,
+    Print,
+    Program,
+    RealLit,
+    Return,
+    Slice,
+    SourceFile,
+    Stmt,
+    StrLit,
+    Subroutine,
+    TypeDecl,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+from .lexer import tokenize  # noqa: F401
+from .parser import parse, parse_expr, parse_stmt  # noqa: F401
+from .symtab import Symbol, SymbolTable, build_symtab, build_symtabs  # noqa: F401
+from .unparser import unparse, unparse_expr  # noqa: F401
+from .visitor import (  # noqa: F401
+    ExprTransformer,
+    child_bodies,
+    clone,
+    contains_name,
+    find_all,
+    find_enclosing_body,
+    index_of,
+    rewrite_body,
+    statements,
+    substitute,
+    walk,
+)
+
+__all__ = [
+    "parse",
+    "parse_expr",
+    "parse_stmt",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+    "build_symtab",
+    "build_symtabs",
+    "clone",
+    "find_all",
+    "walk",
+]

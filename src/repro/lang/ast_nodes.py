@@ -1,0 +1,355 @@
+"""AST node classes — the transformable IR of the frontend.
+
+Design notes
+------------
+* Nodes are plain mutable dataclasses with *structural* equality (``eq=True``)
+  so tests can compare trees directly; source locations are excluded from
+  equality via ``compare=False``.
+* The Fortran ambiguity between ``name(args)`` as array reference vs.
+  function call is resolved at parse time: names in :data:`INTRINSICS` parse
+  as :class:`FuncCall`; everything else parses as :class:`ArrayRef`.  A later
+  symbol-table pass can re-classify if a user declares a function (our subset
+  uses subroutines only, so this is sufficient).
+* Statement bodies are plain ``list``s; transformations splice into them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+# --------------------------------------------------------------------------
+# Intrinsic function names recognized in expression position.
+# ``mynode()`` and ``numnodes()`` are the runtime's rank/size queries, kept
+# deliberately close to the paper's GM-era spelling.
+# --------------------------------------------------------------------------
+INTRINSICS = frozenset(
+    {
+        "mod",
+        "min",
+        "max",
+        "abs",
+        "int",
+        "real",
+        "sqrt",
+        "sin",
+        "cos",
+        "exp",
+        "log",
+        "iand",
+        "ior",
+        "ieor",
+        "ishft",
+        "mynode",
+        "numnodes",
+        "size",
+        "merge",
+    }
+)
+
+
+@dataclass(eq=True)
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, compare=False, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (expressions and statements)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+                    elif isinstance(item, tuple):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                yield sub
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ============================ Expressions =================================
+
+
+@dataclass(eq=True)
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass(eq=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(eq=True)
+class RealLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(eq=True)
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass(eq=True)
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass(eq=True)
+class VarRef(Expr):
+    """Reference to a scalar variable (or whole array when passed bare)."""
+
+    name: str = ""
+
+
+@dataclass(eq=True)
+class Slice(Expr):
+    """An array-section subscript ``lo:hi`` (either side may be None)."""
+
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+
+@dataclass(eq=True)
+class ArrayRef(Expr):
+    """``name(sub1, sub2, ...)`` where subscripts are exprs or slices."""
+
+    name: str = ""
+    subs: List[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class FuncCall(Expr):
+    """Intrinsic (or resolved) function call in expression position."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is the Fortran spelling (``+``, ``.and.``...)."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(eq=True)
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# ============================ Statements ==================================
+
+
+@dataclass(eq=True)
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass(eq=True)
+class Assign(Stmt):
+    """``lhs = rhs`` where lhs is a VarRef or ArrayRef."""
+
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(eq=True)
+class CallStmt(Stmt):
+    """``call name(args...)``."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class DoLoop(Stmt):
+    """``do var = lo, hi [, step]`` ... ``enddo``."""
+
+    var: str = ""
+    lo: Expr = None  # type: ignore[assignment]
+    hi: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class WhileLoop(Stmt):
+    """``do while (cond)`` ... ``enddo``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class If(Stmt):
+    """``if/elseif/else`` chain.
+
+    ``branches`` is a list of (condition, body) pairs; ``else_body`` may be
+    empty.  A one-line logical if parses as a single branch whose body has
+    one statement.
+    """
+
+    branches: List[Tuple[Expr, List[Stmt]]] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for cond, body in self.branches:
+            yield cond
+            yield from body
+        yield from self.else_body
+
+
+@dataclass(eq=True)
+class Print(Stmt):
+    """``print *, items...``."""
+
+    items: List[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class Return(Stmt):
+    pass
+
+
+@dataclass(eq=True)
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass(eq=True)
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass(eq=True)
+class CycleStmt(Stmt):
+    pass
+
+
+@dataclass(eq=True)
+class Comment(Stmt):
+    """A preserved standalone comment (used by codegen to annotate output)."""
+
+    text: str = ""
+
+
+# ============================ Declarations ================================
+
+
+@dataclass(eq=True)
+class DimSpec(Node):
+    """One array dimension ``lo:hi`` (``lo`` defaults to 1)."""
+
+    lo: Expr = None  # type: ignore[assignment]
+    hi: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(eq=True)
+class EntityDecl(Node):
+    """A declared entity: name, optional dims, optional initializer."""
+
+    name: str = ""
+    dims: List[DimSpec] = field(default_factory=list)
+    init: Optional[Expr] = None
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclass(eq=True)
+class TypeDecl(Stmt):
+    """``integer [, parameter] :: entities`` (also old-style ``integer x(n)``)."""
+
+    base_type: str = "integer"  # 'integer' | 'real' | 'logical'
+    is_parameter: bool = False
+    intent: Optional[str] = None  # 'in' | 'out' | 'inout' | None
+    entities: List[EntityDecl] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class ExternalDecl(Stmt):
+    """``external name1, name2`` — names of external procedures."""
+
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class ImplicitNone(Stmt):
+    pass
+
+
+# ============================ Program units ===============================
+
+
+@dataclass(eq=True)
+class Unit(Node):
+    """Base for program units."""
+
+    name: str = ""
+    decls: List[Stmt] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class Program(Unit):
+    pass
+
+
+@dataclass(eq=True)
+class Subroutine(Unit):
+    params: List[str] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class SourceFile(Node):
+    """Top-level container: one or more program units."""
+
+    units: List[Unit] = field(default_factory=list)
+
+    @property
+    def main(self) -> Program:
+        """The (first) main program unit."""
+        for u in self.units:
+            if isinstance(u, Program):
+                return u
+        raise ValueError("source file has no program unit")
+
+    def subroutine(self, name: str) -> Subroutine:
+        """Look up a subroutine by (lower-case) name."""
+        for u in self.units:
+            if isinstance(u, Subroutine) and u.name == name:
+                return u
+        raise KeyError(name)
+
+
+LValue = Union[VarRef, ArrayRef]
+
+#: Binary operator precedence, loosest binds first (for the unparser).
+BINOP_PRECEDENCE = {
+    ".or.": 1,
+    ".and.": 2,
+    "==": 4,
+    "/=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "**": 8,
+}

@@ -1,0 +1,280 @@
+"""Lexer for the Fortran-90 subset.
+
+Free-form source only.  Handles:
+
+* ``!`` comments to end of line,
+* ``&`` line continuation (both trailing and, optionally, leading on the
+  next line, as Fortran allows),
+* case-insensitive keywords and identifiers (both are lower-cased; Fortran
+  is case-insensitive, and normalizing makes every later pipeline stage
+  simpler),
+* integer and real literals (``1``, ``3.5``, ``1e-3``, ``2.5d0`` — the
+  ``d`` exponent is normalized to ``e``),
+* dotted logical operators ``.and.  .or.  .not.  .true.  .false.``,
+* statement separators: newline and ``;``, both emitted as NEWLINE.
+
+Adjacent ``end do`` / ``end if`` / ``else if`` keyword pairs are fused into
+single keywords so the parser sees one spelling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import LexError
+from .tokens import FUSED_KEYWORDS, KEYWORDS, Token, TokenKind
+
+_SINGLE = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "%": TokenKind.PERCENT,
+}
+
+_DOTTED = {
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "eq": TokenKind.EQ,
+    "ne": TokenKind.NE,
+    "lt": TokenKind.LT,
+    "le": TokenKind.LE,
+    "gt": TokenKind.GT,
+    "ge": TokenKind.GE,
+}
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _peek(self, off: int = 0) -> str:
+        i = self.pos + off
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.src[self.pos : self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    def _error(self, msg: str) -> LexError:
+        return LexError(msg, self.line, self.col)
+
+    # -- scanning ----------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Scan the whole source and return tokens ending with EOF."""
+        out: List[Token] = list(self._scan())
+        out = _fuse_keywords(out)
+        out = _collapse_newlines(out)
+        return out
+
+    def _scan(self) -> Iterator[Token]:
+        pending_continuation = False
+        while self.pos < len(self.src):
+            ch = self._peek()
+            line, col = self.line, self.col
+
+            if ch in " \t\r":
+                self._advance()
+                continue
+            if ch == "!":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "&":
+                self._advance()
+                pending_continuation = True
+                continue
+            if ch == "\n":
+                self._advance()
+                if pending_continuation:
+                    pending_continuation = False
+                else:
+                    yield Token(TokenKind.NEWLINE, "\n", line, col)
+                continue
+            if ch == ";":
+                self._advance()
+                yield Token(TokenKind.NEWLINE, ";", line, col)
+                continue
+            pending_continuation = False
+
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._number(line, col)
+                continue
+            if ch.isalpha() or ch == "_":
+                yield self._word(line, col)
+                continue
+            if ch == ".":
+                yield self._dotted(line, col)
+                continue
+            if ch in "'\"":
+                yield self._string(line, col)
+                continue
+
+            two = self.src[self.pos : self.pos + 2]
+            if two == "**":
+                self._advance(2)
+                yield Token(TokenKind.POWER, "**", line, col)
+            elif two == "==":
+                self._advance(2)
+                yield Token(TokenKind.EQ, "==", line, col)
+            elif two == "/=":
+                self._advance(2)
+                yield Token(TokenKind.NE, "/=", line, col)
+            elif two == "<=":
+                self._advance(2)
+                yield Token(TokenKind.LE, "<=", line, col)
+            elif two == ">=":
+                self._advance(2)
+                yield Token(TokenKind.GE, ">=", line, col)
+            elif two == "::":
+                self._advance(2)
+                yield Token(TokenKind.DCOLON, "::", line, col)
+            elif ch == "<":
+                self._advance()
+                yield Token(TokenKind.LT, "<", line, col)
+            elif ch == ">":
+                self._advance()
+                yield Token(TokenKind.GT, ">", line, col)
+            elif ch == "=":
+                self._advance()
+                yield Token(TokenKind.ASSIGN, "=", line, col)
+            elif ch == "*":
+                self._advance()
+                yield Token(TokenKind.STAR, "*", line, col)
+            elif ch == "/":
+                self._advance()
+                yield Token(TokenKind.SLASH, "/", line, col)
+            elif ch == ":":
+                self._advance()
+                yield Token(TokenKind.COLON, ":", line, col)
+            elif ch in _SINGLE:
+                self._advance()
+                yield Token(_SINGLE[ch], ch, line, col)
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+        yield Token(TokenKind.NEWLINE, "\n", self.line, self.col)
+        yield Token(TokenKind.EOF, "", self.line, self.col)
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        is_real = False
+        while self._peek().isdigit():
+            self._advance()
+        # A '.' starts a fraction only if NOT followed by a letter (else it
+        # is a dotted operator like `1.and.`); `1.5`, `1.`, `1.e3` are reals.
+        if self._peek() == "." and not self._peek(1).isalpha():
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek().lower() in ("e", "d") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.src[start : self.pos].lower().replace("d", "e")
+        kind = TokenKind.REAL if is_real else TokenKind.INT
+        return Token(kind, text, line, col)
+
+    def _word(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos].lower()
+        if text in KEYWORDS:
+            return Token(TokenKind.KEYWORD, text, line, col)
+        return Token(TokenKind.IDENT, text, line, col)
+
+    def _dotted(self, line: int, col: int) -> Token:
+        # .and. / .or. / .not. / .true. / .false. / .eq. etc.
+        self._advance()  # consume '.'
+        start = self.pos
+        while self._peek().isalpha():
+            self._advance()
+        word = self.src[start : self.pos].lower()
+        if self._peek() != ".":
+            raise self._error(f"malformed dotted operator '.{word}'")
+        self._advance()  # closing '.'
+        kind = _DOTTED.get(word)
+        if kind is None:
+            raise self._error(f"unknown dotted operator '.{word}.'")
+        return Token(kind, f".{word}.", line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == quote:
+                self._advance()
+                if self._peek() == quote:  # doubled quote escapes itself
+                    chars.append(quote)
+                    self._advance()
+                    continue
+                break
+            chars.append(self._advance())
+        return Token(TokenKind.STRING, "".join(chars), line, col)
+
+
+def _fuse_keywords(toks: List[Token]) -> List[Token]:
+    """Merge adjacent keyword pairs like ``end do`` into ``enddo``."""
+    out: List[Token] = []
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if (
+            t.kind is TokenKind.KEYWORD
+            and i + 1 < len(toks)
+            and toks[i + 1].kind is TokenKind.KEYWORD
+            and (t.text, toks[i + 1].text) in FUSED_KEYWORDS
+        ):
+            fused = FUSED_KEYWORDS[(t.text, toks[i + 1].text)]
+            out.append(Token(TokenKind.KEYWORD, fused, t.line, t.col))
+            i += 2
+            continue
+        out.append(t)
+        i += 1
+    return out
+
+
+def _collapse_newlines(toks: List[Token]) -> List[Token]:
+    """Drop leading newlines and collapse runs of NEWLINE into one."""
+    out: List[Token] = []
+    for t in toks:
+        if t.kind is TokenKind.NEWLINE:
+            if not out or out[-1].kind is TokenKind.NEWLINE:
+                continue
+        out.append(t)
+    return out
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the token list (ending with EOF)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,128 @@
+"""Token definitions for the Fortran-90 subset accepted by the frontend.
+
+The token model is deliberately small: the lexer folds Fortran's dotted
+logical operators (``.and.``, ``.or.``, ``.not.``, ``.true.``, ``.false.``)
+into single tokens, normalizes keywords case-insensitively, and treats
+``end do`` / ``enddo`` (etc.) uniformly by emitting the fused keyword.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Kinds of lexical tokens."""
+
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    KEYWORD = "keyword"
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    POWER = "**"
+    ASSIGN = "="
+    EQ = "=="
+    NE = "/="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = ".and."
+    OR = ".or."
+    NOT = ".not."
+    TRUE = ".true."
+    FALSE = ".false."
+
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    DCOLON = "::"
+    PERCENT = "%"
+
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+#: Keywords recognized by the parser.  ``endprogram`` etc. are the fused
+#: forms; the lexer merges ``end do``/``end if``/... into these.
+KEYWORDS = frozenset(
+    {
+        "program",
+        "subroutine",
+        "function",
+        "end",
+        "enddo",
+        "endif",
+        "endprogram",
+        "endsubroutine",
+        "endfunction",
+        "endwhile",
+        "do",
+        "while",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "call",
+        "integer",
+        "real",
+        "logical",
+        "parameter",
+        "dimension",
+        "implicit",
+        "none",
+        "print",
+        "return",
+        "continue",
+        "exit",
+        "cycle",
+        "external",
+        "intent",
+        "in",
+        "out",
+        "inout",
+    }
+)
+
+#: Pairs that the lexer fuses when they appear adjacently (``end do`` ->
+#: ``enddo``).  Keys are (first, second) keyword spellings.
+FUSED_KEYWORDS = {
+    ("end", "do"): "enddo",
+    ("end", "if"): "endif",
+    ("end", "while"): "endwhile",
+    ("end", "program"): "endprogram",
+    ("end", "subroutine"): "endsubroutine",
+    ("end", "function"): "endfunction",
+    ("else", "if"): "elseif",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: the :class:`TokenKind`.
+        text: the (case-normalized, for keywords/identifiers) source text.
+        line: 1-based source line.
+        col: 1-based source column.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_kw(self, *names: str) -> bool:
+        """True if this token is a keyword with one of the given spellings."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

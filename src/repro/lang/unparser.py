@@ -1,0 +1,230 @@
+"""Unparser: AST back to Fortran source text.
+
+The output is canonical (2-space indentation, lower-case keywords, minimal
+but correct parenthesization via operator precedence).  The round-trip
+property ``parse(unparse(parse(s))) == parse(s)`` is part of the test
+suite's invariants.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BINOP_PRECEDENCE,
+    BinOp,
+    BoolLit,
+    CallStmt,
+    Comment,
+    ContinueStmt,
+    CycleStmt,
+    DimSpec,
+    DoLoop,
+    EntityDecl,
+    ExitStmt,
+    Expr,
+    ExternalDecl,
+    FuncCall,
+    If,
+    ImplicitNone,
+    IntLit,
+    Node,
+    Print,
+    Program,
+    RealLit,
+    Return,
+    Slice,
+    SourceFile,
+    Stmt,
+    StrLit,
+    Subroutine,
+    TypeDecl,
+    UnaryOp,
+    VarRef,
+    WhileLoop,
+)
+
+_INDENT = "  "
+
+
+def unparse_expr(e: Expr, parent_prec: int = 0, *, _right: bool = False) -> str:
+    """Render an expression, parenthesizing only where precedence requires."""
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, RealLit):
+        text = repr(e.value)
+        return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+    if isinstance(e, StrLit):
+        return "'" + e.value.replace("'", "''") + "'"
+    if isinstance(e, BoolLit):
+        return ".true." if e.value else ".false."
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, Slice):
+        lo = unparse_expr(e.lo) if e.lo is not None else ""
+        hi = unparse_expr(e.hi) if e.hi is not None else ""
+        return f"{lo}:{hi}"
+    if isinstance(e, ArrayRef):
+        subs = ", ".join(unparse_expr(s) for s in e.subs)
+        return f"{e.name}({subs})"
+    if isinstance(e, FuncCall):
+        args = ", ".join(unparse_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, UnaryOp):
+        prec = 3 if e.op == ".not." else 7
+        inner = unparse_expr(e.operand, prec)
+        sep = " " if e.op == ".not." else ""
+        text = f"{e.op}{sep}{inner}"
+        return f"({text})" if parent_prec > prec else text
+    if isinstance(e, BinOp):
+        prec = BINOP_PRECEDENCE[e.op]
+        # For left-associative ops the right child needs parens at equal
+        # precedence (a - (b - c)); ** is right-associative, so mirror it;
+        # relational ops are non-associative, so both sides need them.
+        relational = e.op in ("==", "/=", "<", "<=", ">", ">=")
+        if e.op == "**":
+            left = unparse_expr(e.left, prec + 1)
+            right = unparse_expr(e.right, prec)
+        elif relational:
+            left = unparse_expr(e.left, prec + 1)
+            right = unparse_expr(e.right, prec + 1)
+        else:
+            left = unparse_expr(e.left, prec)
+            right = unparse_expr(e.right, prec + 1)
+        pad = "" if e.op == "**" else " "
+        text = f"{left}{pad}{e.op}{pad}{right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"cannot unparse expression node {type(e).__name__}")
+
+
+class Unparser:
+    """Stateful pretty-printer; collect lines then join."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text if text else "")
+
+    # ----- units -----
+
+    def unparse(self, node: Node) -> str:
+        if isinstance(node, SourceFile):
+            for i, unit in enumerate(node.units):
+                if i:
+                    self._emit("")
+                self._unit(unit)
+        elif isinstance(node, (Program, Subroutine)):
+            self._unit(node)
+        elif isinstance(node, Stmt):
+            self._stmt(node)
+        elif isinstance(node, Expr):
+            return unparse_expr(node)
+        else:
+            raise TypeError(f"cannot unparse {type(node).__name__}")
+        return "\n".join(self.lines) + "\n"
+
+    def _unit(self, unit) -> None:
+        if isinstance(unit, Program):
+            self._emit(f"program {unit.name}")
+        else:
+            params = ", ".join(unit.params)
+            self._emit(f"subroutine {unit.name}({params})")
+        self.depth += 1
+        for d in unit.decls:
+            self._stmt(d)
+        if unit.decls and unit.body:
+            self._emit("")
+        for s in unit.body:
+            self._stmt(s)
+        self.depth -= 1
+        kind = "program" if isinstance(unit, Program) else "subroutine"
+        self._emit(f"end {kind} {unit.name}")
+
+    # ----- statements -----
+
+    def _body(self, stmts: List[Stmt]) -> None:
+        self.depth += 1
+        for s in stmts:
+            self._stmt(s)
+        self.depth -= 1
+
+    def _stmt(self, s: Stmt) -> None:
+        if isinstance(s, TypeDecl):
+            attrs = ""
+            if s.is_parameter:
+                attrs += ", parameter"
+            if s.intent:
+                attrs += f", intent({s.intent})"
+            ents = ", ".join(self._entity(e) for e in s.entities)
+            self._emit(f"{s.base_type}{attrs} :: {ents}")
+        elif isinstance(s, ExternalDecl):
+            self._emit("external " + ", ".join(s.names))
+        elif isinstance(s, ImplicitNone):
+            self._emit("implicit none")
+        elif isinstance(s, Assign):
+            self._emit(f"{unparse_expr(s.lhs)} = {unparse_expr(s.rhs)}")
+        elif isinstance(s, CallStmt):
+            args = ", ".join(unparse_expr(a) for a in s.args)
+            self._emit(f"call {s.name}({args})")
+        elif isinstance(s, DoLoop):
+            header = f"do {s.var} = {unparse_expr(s.lo)}, {unparse_expr(s.hi)}"
+            if s.step is not None:
+                header += f", {unparse_expr(s.step)}"
+            self._emit(header)
+            self._body(s.body)
+            self._emit("enddo")
+        elif isinstance(s, WhileLoop):
+            self._emit(f"do while ({unparse_expr(s.cond)})")
+            self._body(s.body)
+            self._emit("enddo")
+        elif isinstance(s, If):
+            for i, (cond, body) in enumerate(s.branches):
+                kw = "if" if i == 0 else "elseif"
+                self._emit(f"{kw} ({unparse_expr(cond)}) then")
+                self._body(body)
+            if s.else_body:
+                self._emit("else")
+                self._body(s.else_body)
+            self._emit("endif")
+        elif isinstance(s, Print):
+            items = ", ".join(unparse_expr(e) for e in s.items)
+            self._emit(f"print *, {items}" if items else "print *")
+        elif isinstance(s, Return):
+            self._emit("return")
+        elif isinstance(s, ContinueStmt):
+            self._emit("continue")
+        elif isinstance(s, ExitStmt):
+            self._emit("exit")
+        elif isinstance(s, CycleStmt):
+            self._emit("cycle")
+        elif isinstance(s, Comment):
+            self._emit(f"!{s.text}")
+        else:
+            raise TypeError(f"cannot unparse statement {type(s).__name__}")
+
+    @staticmethod
+    def _entity(e: EntityDecl) -> str:
+        text = e.name
+        if e.dims:
+            dims = ", ".join(Unparser._dim(d) for d in e.dims)
+            text += f"({dims})"
+        if e.init is not None:
+            text += f" = {unparse_expr(e.init)}"
+        return text
+
+    @staticmethod
+    def _dim(d: DimSpec) -> str:
+        lo = unparse_expr(d.lo)
+        hi = unparse_expr(d.hi)
+        return hi if lo == "1" else f"{lo}:{hi}"
+
+
+def unparse(node: Node) -> str:
+    """Render an AST node (file, unit, statement, or expression) to source."""
+    if isinstance(node, Expr):
+        return unparse_expr(node)
+    return Unparser().unparse(node)

@@ -1,0 +1,46 @@
+"""Cluster execution substrate: discrete-event simulator, network models,
+simulated MPI, and the compute cost model.
+
+This package is the reproduction's substitute for the paper's physical
+testbed (MPICH vs. MPICH-GM on a Myrinet cluster) — see DESIGN.md §3 for
+why a virtual-time simulation is the faithful choice in CPython.
+"""
+
+from .costmodel import DEFAULT_COST_MODEL, ELEMENT_BYTES, CostModel  # noqa: F401
+from .events import (  # noqa: F401
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    LocalCopy,
+    Message,
+    RankStats,
+    SimOp,
+    SimResult,
+    Wait,
+)
+from .mpi import SimComm  # noqa: F401
+from .network import IDEAL, MPICH_GM, MPICH_P4, PRESETS, NetworkModel  # noqa: F401
+from .simulator import Engine, simulate  # noqa: F401
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ELEMENT_BYTES",
+    "Engine",
+    "simulate",
+    "SimComm",
+    "SimResult",
+    "RankStats",
+    "NetworkModel",
+    "MPICH_P4",
+    "MPICH_GM",
+    "IDEAL",
+    "PRESETS",
+    "Compute",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Barrier",
+    "LocalCopy",
+]

@@ -1,0 +1,60 @@
+"""Compute cost model: virtual CPU time charged per interpreted operation.
+
+The interpreter executes mini-Fortran programs over numpy storage, but
+Python execution speed must not leak into the virtual timeline.  Instead,
+each executed statement/operation charges a deterministic cost from this
+model to the rank's virtual clock.  The defaults describe a 2005-era
+cluster node (order 1 GHz, a few ns per scalar operation); absolute
+values only set the compute/communication ratio, which the benchmark
+harness sweeps explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual CPU costs, in seconds."""
+
+    #: fixed cost per executed statement (control overhead)
+    stmt_overhead: float = 1.0e-9
+    #: one integer/logical scalar operation
+    int_op: float = 1.0e-9
+    #: one floating-point scalar operation
+    real_op: float = 2.0e-9
+    #: one array element load or store
+    mem_access: float = 2.0e-9
+    #: one intrinsic call (mod, min, ...), on top of argument costs
+    intrinsic: float = 3.0e-9
+    #: subroutine call/return overhead
+    call_overhead: float = 20.0e-9
+    #: granularity: the interpreter flushes accumulated compute time to the
+    #: engine whenever it exceeds this many seconds (and always before a
+    #: communication operation), bounding event count without changing totals
+    flush_threshold: float = 5.0e-6
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with all compute costs multiplied by ``factor``.
+
+        ``factor > 1`` models a slower CPU (more overlap headroom);
+        ``factor < 1`` a faster one.  Used by the compute/comm-ratio
+        ablation.
+        """
+        return replace(
+            self,
+            stmt_overhead=self.stmt_overhead * factor,
+            int_op=self.int_op * factor,
+            real_op=self.real_op * factor,
+            mem_access=self.mem_access * factor,
+            intrinsic=self.intrinsic * factor,
+            call_overhead=self.call_overhead * factor,
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+#: Bytes per stored element: every mini-Fortran integer/real maps to a
+#: 64-bit numpy element, and message sizes derive from element counts.
+ELEMENT_BYTES = 8

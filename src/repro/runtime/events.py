@@ -1,0 +1,162 @@
+"""Simulation protocol: the operations rank coroutines yield to the engine.
+
+A rank program (the AST interpreter, or a hand-written Python kernel in
+tests) is a generator.  It yields :class:`SimOp` values; the engine
+processes each, advances virtual clocks, and sends back the result (a
+request handle for isend/irecv, received data availability for wait, ...).
+
+This keeps the runtime single-threaded and deterministic: "overlap" is a
+property of the *virtual* timeline, not of Python thread scheduling —
+exactly the substitution DESIGN.md records for real RDMA hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class OpKind(enum.Enum):
+    COMPUTE = "compute"
+    ISEND = "isend"
+    IRECV = "irecv"
+    WAIT = "wait"
+    BARRIER = "barrier"
+    LOCAL_COPY = "local_copy"
+
+
+@dataclass
+class SimOp:
+    """Base class for yielded operations."""
+
+    kind: OpKind = field(init=False)
+
+
+@dataclass
+class Compute(SimOp):
+    """Advance this rank's clock by ``seconds`` of pure computation."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.COMPUTE
+
+
+@dataclass
+class Isend(SimOp):
+    """Start a non-blocking send.  Engine returns an integer handle.
+
+    ``data`` is the payload *view*; the engine snapshots it immediately
+    (eager copy) and re-checks it at send completion to detect programs
+    that modify a buffer with a transfer in flight.
+    """
+
+    dest: int
+    tag: int
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.ISEND
+
+
+@dataclass
+class Irecv(SimOp):
+    """Post a non-blocking receive into ``buffer`` (written at completion).
+
+    ``buffer`` may be a writable ndarray view, or a callable accepting the
+    payload (for strided/section targets the interpreter scatters itself).
+    Engine returns an integer handle.
+    """
+
+    source: int
+    tag: int
+    buffer: Any
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.IRECV
+
+
+@dataclass
+class Wait(SimOp):
+    """Block until all listed handles complete."""
+
+    handles: Sequence[int]
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.WAIT
+
+
+@dataclass
+class Barrier(SimOp):
+    """Synchronize all ranks."""
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.BARRIER
+
+
+@dataclass
+class LocalCopy(SimOp):
+    """Charge the CPU for a local memcpy of ``nbytes`` (self-partition)."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        self.kind = OpKind.LOCAL_COPY
+
+
+class MsgState(enum.Enum):
+    PENDING = "pending"  # isend posted, transfer not finished
+    DELIVERED = "delivered"  # payload landed (recv may not be posted yet)
+
+
+@dataclass
+class Message:
+    """One point-to-point transfer in flight."""
+
+    seq: int
+    src: int
+    dest: int
+    tag: int
+    nbytes: int
+    payload: np.ndarray  # snapshot taken at isend
+    source_view: Optional[np.ndarray]  # live view for race detection
+    t_posted: float
+    t_wire_start: float = 0.0
+    t_complete: float = 0.0
+    state: MsgState = MsgState.PENDING
+
+
+@dataclass
+class RankStats:
+    """Per-rank accounting, reported by the engine."""
+
+    compute_time: float = 0.0
+    mpi_overhead_time: float = 0.0  # o_s/o_r/copy charges
+    wait_time: float = 0.0  # blocked in wait/barrier
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    unexpected_messages: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.mpi_overhead_time + self.wait_time
+
+
+@dataclass
+class SimResult:
+    """Outcome of one cluster run."""
+
+    time: float  # makespan: max finish time over ranks
+    rank_times: List[float]
+    stats: List[RankStats]
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)

@@ -1,0 +1,167 @@
+"""Simulated MPI interface used by rank programs.
+
+:class:`SimComm` exposes the subset of MPI the paper's codes need —
+non-blocking point-to-point, waits, barrier, and ``MPI_ALLTOALL`` — as
+generator methods.  A rank program calls them with ``yield from``::
+
+    def program(rank, comm):
+        ...
+        h = yield from comm.isend(view, dest=1, tag=7)
+        yield from comm.wait([h])
+
+``alltoall`` is implemented *on top of* the same isend/irecv/wait
+primitives (pairwise exchange, the classic implementation), so the
+original and pre-pushed programs exercise identical machinery and timing
+differences arise purely from when operations are issued — which is the
+effect the paper measures.
+
+The class also tracks outstanding send/recv handles so the transformed
+code's ``mpi_waitall_recvs`` / ``mpi_waitall_sends`` / ``mpi_waitall``
+(paper §3.6 steps 2 and 4) need no explicit request arrays in the
+mini-Fortran source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from .events import Barrier, Compute, Irecv, Isend, LocalCopy, SimOp, Wait
+
+Gen = Generator[SimOp, Any, Any]
+
+
+class SimComm:
+    """Per-rank communicator for the simulated cluster."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        if not 0 <= rank < size:
+            raise SimulationError(f"invalid rank {rank} of {size}")
+        self._rank = rank
+        self._size = size
+        self._pending_sends: List[int] = []
+        self._pending_recvs: List[int] = []
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def rank(self) -> int:
+        """This process's rank (``mynode()`` in the mini-Fortran sources)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (``numnodes()``)."""
+        return self._size
+
+    @property
+    def outstanding_sends(self) -> int:
+        return len(self._pending_sends)
+
+    @property
+    def outstanding_recvs(self) -> int:
+        return len(self._pending_recvs)
+
+    # ------------------------------------------------------- point-to-point
+
+    def isend(self, data: np.ndarray, dest: int, tag: int) -> Gen:
+        """Non-blocking send; returns the handle (also tracked internally)."""
+        handle = yield Isend(dest=dest, tag=tag, data=data)
+        self._pending_sends.append(handle)
+        return handle
+
+    def irecv(
+        self,
+        buffer: Union[np.ndarray, Callable[[np.ndarray], None]],
+        source: int,
+        tag: int,
+        nbytes: Optional[int] = None,
+    ) -> Gen:
+        """Non-blocking receive into ``buffer`` (ndarray view or callable)."""
+        if nbytes is None:
+            if not isinstance(buffer, np.ndarray):
+                raise SimulationError(
+                    "nbytes is required when the receive target is a callable"
+                )
+            nbytes = int(buffer.nbytes)
+        handle = yield Irecv(source=source, tag=tag, buffer=buffer, nbytes=nbytes)
+        self._pending_recvs.append(handle)
+        return handle
+
+    def wait(self, handles: Sequence[int]) -> Gen:
+        """Block until the given handles complete."""
+        yield Wait(handles=list(handles))
+        pending = set(handles)
+        self._pending_sends = [h for h in self._pending_sends if h not in pending]
+        self._pending_recvs = [h for h in self._pending_recvs if h not in pending]
+
+    def waitall(self) -> Gen:
+        """Wait for every outstanding request (sends and receives)."""
+        yield from self.wait(self._pending_sends + self._pending_recvs)
+
+    def waitall_sends(self) -> Gen:
+        yield from self.wait(list(self._pending_sends))
+
+    def waitall_recvs(self) -> Gen:
+        yield from self.wait(list(self._pending_recvs))
+
+    # ----------------------------------------------------------- collective
+
+    def barrier(self) -> Gen:
+        yield Barrier()
+
+    def alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> Gen:
+        """Blocking MPI_ALLTOALL over flat buffers.
+
+        ``sendbuf``/``recvbuf`` are 1-D views whose length divides evenly
+        into ``size`` partitions; partition ``j`` of this rank's sendbuf
+        goes to rank ``j``, landing in partition ``rank`` of j's recvbuf.
+        Implemented as a pairwise exchange with the same non-blocking
+        primitives the pre-push transformation emits.
+        """
+        send = sendbuf.reshape(-1)
+        recv = recvbuf.reshape(-1)
+        if send.size % self._size or recv.size % self._size:
+            raise SimulationError(
+                f"alltoall buffer length {send.size} not divisible by "
+                f"{self._size} ranks"
+            )
+        part = send.size // self._size
+        if recv.size != send.size:
+            raise SimulationError("alltoall send/recv sizes differ")
+
+        handles: List[int] = []
+        tag = _ALLTOALL_TAG
+        for j in range(1, self._size):
+            dest = (self._rank + j) % self._size
+            src = (self._size + self._rank - j) % self._size
+            h_r = yield from self.irecv(
+                recv[src * part : (src + 1) * part], source=src, tag=tag
+            )
+            handles.append(h_r)
+            h_s = yield from self.isend(
+                send[dest * part : (dest + 1) * part], dest=dest, tag=tag
+            )
+            handles.append(h_s)
+        # self partition: local memcpy
+        yield LocalCopy(nbytes=int(send[0:part].nbytes))
+        recv[self._rank * part : (self._rank + 1) * part] = send[
+            self._rank * part : (self._rank + 1) * part
+        ]
+        yield from self.wait(handles)
+
+    # ----------------------------------------------------------------- misc
+
+    def compute(self, seconds: float) -> Gen:
+        """Charge ``seconds`` of computation to this rank's clock."""
+        yield Compute(seconds=seconds)
+
+    def local_copy(self, nbytes: int) -> Gen:
+        yield LocalCopy(nbytes=nbytes)
+
+
+#: Reserved tag for collective traffic so it never collides with the
+#: tile tags generated by the pre-push transformation (which are >= 0).
+_ALLTOALL_TAG = -1

@@ -1,0 +1,120 @@
+"""Network performance models: host-based MPICH vs. NIC-offload MPICH-GM.
+
+The paper's measurements compare two stacks on the same cluster:
+
+* **MPICH** (host-based progress, e.g. the p4/TCP device): the host CPU
+  moves every byte through the protocol stack, so a "non-blocking" send
+  still consumes CPU time proportional to the message size — communication
+  cannot overlap computation.
+* **MPICH-GM** (Myrinet GM with RDMA): the NIC's DMA engine moves bytes
+  while the CPU computes; a non-blocking send costs only a small host
+  overhead, and the wait pays only the unfinished remainder.
+
+We model both with a LogGP-style parameterization:
+
+=================  =========================================================
+``latency``        L — end-to-end wire latency per message (s)
+``byte_time``      G — gap per byte on the wire / NIC DMA (s/B)
+``send_overhead``  o_s — host CPU cost to initiate a send (s)
+``recv_overhead``  o_r — host CPU cost to post a receive (s)
+``offload``        True: NIC progresses transfers concurrently with compute;
+                   False: the host CPU is additionally charged
+                   ``host_byte_time`` per byte at send initiation
+``host_byte_time`` CPU time per byte pushed through the host stack (s/B)
+``copy_byte_time`` CPU time per byte to copy an *unexpected* (early-arrived,
+                   recv not yet posted) message out of the bounce buffer;
+                   also used for the local self-partition memcpy
+=================  =========================================================
+
+Endpoint contention: each node has one NIC; a transfer occupies the
+sender NIC and the receiver NIC for ``nbytes * byte_time`` and the wire
+adds ``latency``.  This serialization is what produces the congestion the
+paper warns about when every rank targets the same node (§3.5).
+
+Default constants are of 2005-era magnitude (Fast-Ethernet-class TCP vs
+Myrinet 2000); the *shape* of the results depends on the ratios, not the
+absolute values, and the benchmark harness sweeps them (Ablation C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Timing parameters for one cluster interconnect + MPI stack."""
+
+    name: str
+    latency: float
+    byte_time: float
+    send_overhead: float
+    recv_overhead: float
+    offload: bool
+    host_byte_time: float
+    copy_byte_time: float
+
+    def send_cpu_cost(self, nbytes: int) -> float:
+        """Host CPU time consumed by initiating a send of ``nbytes``."""
+        if self.offload:
+            return self.send_overhead
+        return self.send_overhead + nbytes * self.host_byte_time
+
+    def recv_cpu_cost(self) -> float:
+        """Host CPU time consumed by posting a receive."""
+        return self.recv_overhead
+
+    def wire_time(self, nbytes: int) -> float:
+        """NIC/wire occupancy of one message (excluding latency)."""
+        return nbytes * self.byte_time
+
+    def unexpected_copy_cost(self, nbytes: int) -> float:
+        """CPU cost to drain an unexpected message from the bounce buffer."""
+        return nbytes * self.copy_byte_time
+
+    def local_copy_cost(self, nbytes: int) -> float:
+        """CPU cost of a local memcpy (self-partition of an alltoall)."""
+        return nbytes * self.copy_byte_time
+
+    def with_(self, **kwargs) -> "NetworkModel":
+        """Functional update, for parameter sweeps."""
+        return replace(self, **kwargs)
+
+
+#: Host-based stack: TCP-class latency and bandwidth, CPU-driven transfers.
+MPICH_P4 = NetworkModel(
+    name="mpich",
+    latency=55e-6,
+    byte_time=20e-9,  # ~50 MB/s effective
+    send_overhead=12e-6,
+    recv_overhead=6e-6,
+    offload=False,
+    host_byte_time=18e-9,  # CPU pushes bytes through the stack
+    copy_byte_time=6e-9,
+)
+
+#: Myrinet GM with RDMA offload: low latency, high bandwidth, tiny host cost.
+MPICH_GM = NetworkModel(
+    name="mpich-gm",
+    latency=8e-6,
+    byte_time=4e-9,  # ~250 MB/s
+    send_overhead=1.5e-6,
+    recv_overhead=1.0e-6,
+    offload=True,
+    host_byte_time=0.0,
+    copy_byte_time=5e-9,
+)
+
+#: Idealized zero-cost network, useful for isolating compute time in tests.
+IDEAL = NetworkModel(
+    name="ideal",
+    latency=0.0,
+    byte_time=0.0,
+    send_overhead=0.0,
+    recv_overhead=0.0,
+    offload=True,
+    host_byte_time=0.0,
+    copy_byte_time=0.0,
+)
+
+PRESETS = {m.name: m for m in (MPICH_P4, MPICH_GM, IDEAL)}

@@ -1,0 +1,485 @@
+"""Deterministic discrete-event cluster simulator.
+
+Each rank is a Python generator yielding :class:`~repro.runtime.events.SimOp`
+operations.  The engine advances per-rank virtual clocks, schedules wire
+transfers on per-node NICs (endpoint contention), matches sends to
+receives, and accounts CPU overheads according to the
+:class:`~repro.runtime.network.NetworkModel`.
+
+Timing semantics (the substitution for real MPICH / MPICH-GM hardware —
+see DESIGN.md §3):
+
+* ``Compute(dt)`` — rank clock += dt.
+* ``Isend`` — rank clock += model.send_cpu_cost (which includes the
+  per-byte host cost when the stack is host-driven, i.e. the entire
+  reason MPICH cannot overlap).  The wire transfer is then scheduled *at
+  that virtual time* on the sender/receiver NIC pair: it starts when both
+  NICs are free, occupies them for ``nbytes * byte_time`` and completes
+  ``latency`` later.  The payload is snapshot eagerly; the live view is
+  re-checked when the send completes so in-flight buffer modification
+  (an unsafe transformation!) is detected and reported.
+* ``Irecv`` — rank clock += recv_overhead; the receive matches messages
+  by (source, tag) FIFO order.
+* ``Wait`` — rank blocks until all handles complete; at resume the
+  receive-side completion CPU charges are applied: per-byte host cost in
+  host mode, plus a bounce-buffer copy when the message arrived before
+  the receive was posted ("unexpected message").
+* ``Barrier`` — all ranks synchronize to the max entry time plus a
+  log2(P) latency term.
+
+The engine is single-threaded and fully deterministic: ties are broken by
+monotonically increasing sequence numbers, never by Python hashing or
+wall-clock effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DeadlockError, SimulationError
+from .events import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    LocalCopy,
+    Message,
+    RankStats,
+    SimOp,
+    SimResult,
+    Wait,
+)
+from .network import NetworkModel
+
+RankProgram = Generator[SimOp, Any, None]
+
+
+class _Status(Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    IN_BARRIER = "barrier"
+    DONE = "done"
+
+
+@dataclass
+class _SendReq:
+    msg: Message
+
+    @property
+    def complete_time(self) -> Optional[float]:
+        if self.msg.t_complete > 0.0:
+            return self.msg.t_complete
+        return None
+
+
+@dataclass
+class _RecvReq:
+    source: int
+    tag: int
+    buffer: Any
+    nbytes: int
+    t_posted: float
+    matched: Optional[Message] = None
+    delivered: bool = False
+
+    @property
+    def complete_time(self) -> Optional[float]:
+        if self.matched is None or self.matched.t_complete <= 0.0:
+            return None
+        return max(self.matched.t_complete, self.t_posted)
+
+    @property
+    def unexpected(self) -> bool:
+        """True when the wire transfer finished before the recv was posted."""
+        assert self.matched is not None
+        return self.matched.t_complete <= self.t_posted
+
+
+@dataclass
+class _Rank:
+    index: int
+    gen: RankProgram
+    clock: float = 0.0
+    status: _Status = _Status.READY
+    send_value: Any = None  # value to send into the generator on resume
+    requests: Dict[int, Any] = field(default_factory=dict)
+    next_handle: int = 0
+    waiting_on: Tuple[int, ...] = ()
+    block_start: float = 0.0
+    stats: RankStats = field(default_factory=RankStats)
+
+
+class Engine:
+    """Runs a set of rank programs over a network model to completion."""
+
+    def __init__(
+        self,
+        programs: Sequence[RankProgram],
+        network: NetworkModel,
+        *,
+        detect_races: bool = True,
+    ) -> None:
+        self.network = network
+        self.detect_races = detect_races
+        self.ranks = [_Rank(index=i, gen=g) for i, g in enumerate(programs)]
+        self.nranks = len(self.ranks)
+        self._seq = 0
+        self._events: List[Tuple[float, int, Callable[[float], None]]] = []
+        # unmatched state, keyed (dest, src, tag) in FIFO order
+        self._unmatched_msgs: Dict[Tuple[int, int, int], List[Message]] = {}
+        self._unmatched_recvs: Dict[Tuple[int, int, int], List[_RecvReq]] = {}
+        self._nic_send_free = [0.0] * self.nranks
+        self._nic_recv_free = [0.0] * self.nranks
+        self._barrier_waiting: List[int] = []
+        self.warnings: List[str] = []
+
+    # ------------------------------------------------------------------ api
+
+    def run(self) -> SimResult:
+        """Drive all ranks to completion; returns makespan and stats."""
+        for rank in self.ranks:
+            self._step(rank)  # prime each generator to its first yield
+
+        while True:
+            choice = self._next_actor()
+            if choice is None:
+                if all(r.status is _Status.DONE for r in self.ranks):
+                    break
+                self._raise_deadlock()
+            time, kind, payload = choice
+            if kind == "event":
+                _, _, action = heapq.heappop(self._events)
+                action(time)
+            elif kind == "wake":
+                self._resume_from_wait(payload, time)
+            else:  # "step"
+                self._step(payload)
+
+        rank_times = [r.clock for r in self.ranks]
+        return SimResult(
+            time=max(rank_times) if rank_times else 0.0,
+            rank_times=rank_times,
+            stats=[r.stats for r in self.ranks],
+            warnings=list(self.warnings),
+        )
+
+    # ------------------------------------------------------ engine schedule
+
+    def _next_actor(self):
+        """The next thing to happen, globally ordered by virtual time.
+
+        Events beat rank activity at equal times (a transfer scheduled at
+        time t must resolve before a rank blocked at t re-checks).
+        """
+        best: Optional[Tuple[float, int, str, Any]] = None
+        if self._events:
+            t, seq, _ = self._events[0]
+            best = (t, 0, "event", None)
+        for rank in self.ranks:
+            if rank.status is _Status.READY:
+                cand = (rank.clock, 1, "step", rank)
+            elif rank.status is _Status.BLOCKED:
+                wake = self._wake_time(rank)
+                if wake is None:
+                    continue
+                cand = (wake, 1, "wake", rank)
+            else:
+                continue
+            if best is None or (cand[0], cand[1]) < (best[0], best[1]):
+                best = cand
+        if best is None:
+            return None
+        return best[0], best[2], best[3]
+
+    def _raise_deadlock(self) -> None:
+        lines = []
+        for r in self.ranks:
+            if r.status is _Status.BLOCKED:
+                pending = [
+                    h
+                    for h in r.waiting_on
+                    if _completion(r.requests[h]) is None
+                ]
+                lines.append(
+                    f"rank {r.index} blocked at t={r.block_start:.6g} on "
+                    f"handles {pending}"
+                )
+            elif r.status is _Status.IN_BARRIER:
+                lines.append(f"rank {r.index} stuck in barrier")
+        raise DeadlockError(
+            "no rank can make progress:\n  " + "\n  ".join(lines)
+        )
+
+    # ------------------------------------------------------------ rank step
+
+    def _step(self, rank: _Rank) -> None:
+        try:
+            value, rank.send_value = rank.send_value, None
+            op = rank.gen.send(value)
+        except StopIteration:
+            self._finish_rank(rank)
+            return
+        self._dispatch(rank, op)
+
+    def _dispatch(self, rank: _Rank, op: SimOp) -> None:
+        if isinstance(op, Compute):
+            if op.seconds < 0:
+                raise SimulationError("negative compute time")
+            rank.clock += op.seconds
+            rank.stats.compute_time += op.seconds
+        elif isinstance(op, Isend):
+            rank.send_value = self._do_isend(rank, op)
+        elif isinstance(op, Irecv):
+            rank.send_value = self._do_irecv(rank, op)
+        elif isinstance(op, Wait):
+            self._do_wait(rank, op)
+        elif isinstance(op, Barrier):
+            self._do_barrier(rank)
+        elif isinstance(op, LocalCopy):
+            cost = self.network.local_copy_cost(op.nbytes)
+            rank.clock += cost
+            rank.stats.mpi_overhead_time += cost
+        else:
+            raise SimulationError(f"unknown operation {op!r}")
+
+    def _finish_rank(self, rank: _Rank) -> None:
+        if rank.requests:
+            self.warnings.append(
+                f"rank {rank.index} finished with {len(rank.requests)} "
+                f"request(s) never waited on"
+            )
+        rank.status = _Status.DONE
+        # A rank finishing may complete a barrier among the remaining ranks.
+        if self._barrier_waiting and len(
+            self._barrier_waiting
+        ) == self.nranks_active():
+            self._release_barrier()
+
+    # ---------------------------------------------------------------- isend
+
+    def _do_isend(self, rank: _Rank, op: Isend) -> int:
+        # Snapshot the payload as a 1-D array in *column-major* element
+        # order: the mini-Fortran world is column-major throughout, and a
+        # C-order flatten of a multi-dimensional section would silently
+        # transpose the data (receivers reassemble flat payloads in F
+        # order).
+        data = np.asarray(op.data).flatten(order="F")
+        nbytes = int(data.nbytes)
+        cost = self.network.send_cpu_cost(nbytes)
+        rank.clock += cost
+        rank.stats.mpi_overhead_time += cost
+        rank.stats.bytes_sent += nbytes
+        rank.stats.messages_sent += 1
+        if not (0 <= op.dest < self.nranks):
+            raise SimulationError(
+                f"rank {rank.index} sends to invalid rank {op.dest}"
+            )
+
+        self._seq += 1
+        msg = Message(
+            seq=self._seq,
+            src=rank.index,
+            dest=op.dest,
+            tag=op.tag,
+            nbytes=nbytes,
+            payload=data,  # flatten() above already copied
+            source_view=op.data if self.detect_races else None,
+            t_posted=rank.clock,
+        )
+        # transfer scheduling happens at the rank's post-overhead time, in
+        # global time order (the event heap), so NIC allocation is fair
+        self._push_event(rank.clock, lambda t, m=msg: self._schedule_transfer(m, t))
+        self._match_send(msg)
+
+        handle = rank.next_handle
+        rank.next_handle += 1
+        rank.requests[handle] = _SendReq(msg)
+        return handle
+
+    def _schedule_transfer(self, msg: Message, now: float) -> None:
+        start = max(
+            now, self._nic_send_free[msg.src], self._nic_recv_free[msg.dest]
+        )
+        wire = self.network.wire_time(msg.nbytes)
+        self._nic_send_free[msg.src] = start + wire
+        self._nic_recv_free[msg.dest] = start + wire
+        msg.t_wire_start = start
+        msg.t_complete = start + wire + self.network.latency
+
+    def _match_send(self, msg: Message) -> None:
+        key = (msg.dest, msg.src, msg.tag)
+        queue = self._unmatched_recvs.get(key)
+        if queue:
+            req = queue.pop(0)
+            if not queue:
+                del self._unmatched_recvs[key]
+            req.matched = msg
+        else:
+            self._unmatched_msgs.setdefault(key, []).append(msg)
+
+    # ---------------------------------------------------------------- irecv
+
+    def _do_irecv(self, rank: _Rank, op: Irecv) -> int:
+        cost = self.network.recv_cpu_cost()
+        rank.clock += cost
+        rank.stats.mpi_overhead_time += cost
+        req = _RecvReq(
+            source=op.source,
+            tag=op.tag,
+            buffer=op.buffer,
+            nbytes=op.nbytes,
+            t_posted=rank.clock,
+        )
+        key = (rank.index, op.source, op.tag)
+        queue = self._unmatched_msgs.get(key)
+        if queue:
+            msg = queue.pop(0)
+            if not queue:
+                del self._unmatched_msgs[key]
+            req.matched = msg
+        else:
+            self._unmatched_recvs.setdefault(key, []).append(req)
+
+        handle = rank.next_handle
+        rank.next_handle += 1
+        rank.requests[handle] = req
+        return handle
+
+    # ----------------------------------------------------------------- wait
+
+    def _do_wait(self, rank: _Rank, op: Wait) -> None:
+        for h in op.handles:
+            if h not in rank.requests:
+                raise SimulationError(
+                    f"rank {rank.index} waits on unknown handle {h}"
+                )
+        rank.waiting_on = tuple(op.handles)
+        rank.block_start = rank.clock
+        rank.status = _Status.BLOCKED
+        # an immediately-satisfiable wait resolves via the normal wake path
+
+    def _wake_time(self, rank: _Rank) -> Optional[float]:
+        latest = rank.block_start
+        for h in rank.waiting_on:
+            t = _completion(rank.requests[h])
+            if t is None:
+                return None
+            latest = max(latest, t)
+        return latest
+
+    def _resume_from_wait(self, rank: _Rank, wake: float) -> None:
+        rank.stats.wait_time += max(0.0, wake - rank.block_start)
+        rank.clock = max(rank.clock, wake)
+        charges = 0.0
+        for h in rank.waiting_on:
+            req = rank.requests.pop(h)
+            if isinstance(req, _RecvReq):
+                msg = req.matched
+                assert msg is not None
+                self._deliver(req, msg)
+                unexpected = req.unexpected
+                if unexpected:
+                    rank.stats.unexpected_messages += 1
+                charges += self._recv_completion_cost(msg.nbytes, unexpected)
+                rank.stats.bytes_received += msg.nbytes
+                rank.stats.messages_received += 1
+            else:
+                self._check_send_race(req.msg)
+        rank.clock += charges
+        rank.stats.mpi_overhead_time += charges
+        rank.waiting_on = ()
+        rank.status = _Status.READY
+
+    def _recv_completion_cost(self, nbytes: int, unexpected: bool) -> float:
+        cost = 0.0
+        if not self.network.offload:
+            cost += nbytes * self.network.host_byte_time
+        if unexpected:
+            cost += self.network.unexpected_copy_cost(nbytes)
+        return cost
+
+    def _deliver(self, req: _RecvReq, msg: Message) -> None:
+        if req.delivered:
+            return
+        req.delivered = True
+        if callable(req.buffer):
+            req.buffer(msg.payload)
+            return
+        target = req.buffer
+        if target.nbytes != msg.nbytes:
+            raise SimulationError(
+                f"receive buffer size mismatch: posted {target.nbytes} B, "
+                f"message from rank {msg.src} tag {msg.tag} is {msg.nbytes} B"
+            )
+        flat = msg.payload.view(target.dtype)
+        if target.ndim <= 1:
+            np.copyto(target, flat)
+        else:
+            # reassemble the column-major flat payload into the target's
+            # index space, whatever its memory layout
+            np.copyto(target, flat.reshape(target.shape, order="F"))
+
+    def _check_send_race(self, msg: Message) -> None:
+        if msg.source_view is None:
+            return
+        current = np.asarray(msg.source_view).flatten(order="F")
+        if current.shape != msg.payload.shape or not np.array_equal(
+            current, msg.payload
+        ):
+            self.warnings.append(
+                f"send buffer of rank {msg.src} (tag {msg.tag}, "
+                f"{msg.nbytes} B) was modified while the transfer was in "
+                f"flight — the transformation that produced this program "
+                f"is unsafe"
+            )
+
+    # -------------------------------------------------------------- barrier
+
+    def _do_barrier(self, rank: _Rank) -> None:
+        rank.status = _Status.IN_BARRIER
+        rank.block_start = rank.clock
+        self._barrier_waiting.append(rank.index)
+        if len(self._barrier_waiting) == self.nranks_active():
+            self._release_barrier()
+
+    def _release_barrier(self) -> None:
+        t = max(self.ranks[i].clock for i in self._barrier_waiting)
+        cost = self.network.latency * max(
+            1.0, math.ceil(math.log2(max(2, self.nranks)))
+        )
+        for i in self._barrier_waiting:
+            r = self.ranks[i]
+            r.stats.wait_time += max(0.0, t - r.clock)
+            r.clock = t + cost
+            r.stats.mpi_overhead_time += cost
+            r.status = _Status.READY
+        self._barrier_waiting.clear()
+
+    def nranks_active(self) -> int:
+        return sum(1 for r in self.ranks if r.status is not _Status.DONE)
+
+    # ---------------------------------------------------------------- misc
+
+    def _push_event(self, time: float, action: Callable[[float], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, action))
+
+
+def _completion(req: Any) -> Optional[float]:
+    return req.complete_time
+
+
+def simulate(
+    programs: Sequence[RankProgram],
+    network: NetworkModel,
+    *,
+    detect_races: bool = True,
+) -> SimResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    return Engine(programs, network, detect_races=detect_races).run()

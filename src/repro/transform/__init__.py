@@ -1,0 +1,59 @@
+"""Source-to-source pre-push transformation (the paper's Compuniformer).
+
+Submodules
+----------
+``tiling``       tile geometry and the K heuristic
+``layout``       static geometry of one alltoall site
+``names``        fresh generated-variable names per site
+``commgen``      the Figure 4 pairwise communication generator
+``direct``       §3.3 direct-pattern analysis + code generation
+``indirect``     §3.4 copy-loop elimination
+``interchange``  §3.5 node-loop interchange
+``prepush``      §3.6 whole-program rewrite (:class:`Compuniformer`)
+"""
+
+from .commgen import figure4_loop, peer_from_expr, peer_to_expr  # noqa: F401
+from .direct import DirectPlan, analyze_direct  # noqa: F401
+from .indirect import IndirectPlan, analyze_indirect  # noqa: F401
+from .interchange import (  # noqa: F401
+    apply_interchange,
+    interchange_legal,
+    scalars_privatizable,
+)
+from .layout import SiteLayout, resolve_layout  # noqa: F401
+from .names import SiteNames  # noqa: F401
+from .naming import NamePool  # noqa: F401
+from .prepush import (  # noqa: F401
+    AUTO,
+    Compuniformer,
+    SiteReport,
+    TransformReport,
+    prepush,
+)
+from .tiling import Tiling, choose_tile_size, divisors, overlap_headroom  # noqa: F401
+
+__all__ = [
+    "AUTO",
+    "Compuniformer",
+    "TransformReport",
+    "SiteReport",
+    "prepush",
+    "Tiling",
+    "choose_tile_size",
+    "divisors",
+    "overlap_headroom",
+    "SiteLayout",
+    "resolve_layout",
+    "SiteNames",
+    "NamePool",
+    "DirectPlan",
+    "analyze_direct",
+    "IndirectPlan",
+    "analyze_indirect",
+    "interchange_legal",
+    "apply_interchange",
+    "scalars_privatizable",
+    "figure4_loop",
+    "peer_to_expr",
+    "peer_from_expr",
+]

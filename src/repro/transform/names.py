@@ -1,0 +1,75 @@
+"""Per-site generated-variable names and their declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..lang.ast_nodes import TypeDecl, Unit
+from ..lang import builder as b
+from ..lang.symtab import build_symtab
+from .naming import NamePool
+
+
+@dataclass
+class SiteNames:
+    """Fresh names used by the code generated for one site."""
+
+    me: str
+    j: str
+    to: str
+    from_: str
+    ierr: str
+    ierr_is_new: bool
+    _pool: NamePool = field(repr=False, default=None)  # type: ignore[assignment]
+    _copy_vars: List[str] = field(default_factory=list)
+    slot: Optional[str] = None
+    slot_loop: Optional[str] = None
+    g: Optional[str] = None
+    q: Optional[str] = None
+
+    @staticmethod
+    def allocate(unit: Unit, pool: NamePool) -> "SiteNames":
+        table = build_symtab(unit)
+        ierr_sym = table.lookup("ierr")
+        reuse = (
+            ierr_sym is not None
+            and not ierr_sym.is_array
+            and ierr_sym.base_type == "integer"
+            and not ierr_sym.is_parameter
+        )
+        return SiteNames(
+            me=pool.fresh("me"),
+            j=pool.fresh("j"),
+            to=pool.fresh("to"),
+            from_=pool.fresh("from"),
+            ierr="ierr" if reuse else pool.fresh("ierr"),
+            ierr_is_new=not reuse,
+            _pool=pool,
+        )
+
+    def copy_vars(self, rank: int) -> List[str]:
+        """Loop indices for generated copy nests (allocated on demand)."""
+        while len(self._copy_vars) < rank:
+            self._copy_vars.append(
+                self._pool.fresh(f"c{len(self._copy_vars) + 1}")
+            )
+        return self._copy_vars[:rank]
+
+    def need_indirect(self) -> None:
+        if self.slot is None:
+            self.slot = self._pool.fresh("slot")
+            self.slot_loop = self._pool.fresh("s")
+            self.g = self._pool.fresh("g")
+            self.q = self._pool.fresh("q")
+
+    def declarations(self) -> List[TypeDecl]:
+        """Integer declarations for every allocated generated name."""
+        names = [self.me, self.j, self.to, self.from_]
+        if self.ierr_is_new:
+            names.append(self.ierr)
+        names.extend(self._copy_vars)
+        for extra in (self.slot, self.slot_loop, self.g, self.q):
+            if extra is not None:
+                names.append(extra)
+        return [b.int_decl(*names)]

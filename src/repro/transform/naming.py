@@ -1,0 +1,49 @@
+"""Fresh-name generation for inserted variables.
+
+Generated helper variables (``pp_me``, ``pp_j``, tile counters, copy-loop
+indices...) must not collide with names the program already uses.  The
+``pp_`` prefix follows the tool's name ("pre-push").
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..lang.ast_nodes import (
+    ArrayRef,
+    FuncCall,
+    SourceFile,
+    Unit,
+    VarRef,
+)
+from ..lang.symtab import build_symtab
+
+
+class NamePool:
+    """Allocates identifiers unused by the unit."""
+
+    def __init__(self, unit: Unit, prefix: str = "pp_") -> None:
+        self.prefix = prefix
+        self.used: Set[str] = set()
+        table = build_symtab(unit)
+        self.used.update(table.symbols)
+        self.used.update(table.externals)
+        for node in unit.walk():
+            if isinstance(node, (VarRef, ArrayRef, FuncCall)):
+                self.used.add(node.name)
+
+    def fresh(self, hint: str) -> str:
+        """A new name like ``pp_<hint>`` (numbered on collision)."""
+        base = f"{self.prefix}{hint}"
+        if base not in self.used:
+            self.used.add(base)
+            return base
+        i = 2
+        while f"{base}{i}" in self.used:
+            i += 1
+        name = f"{base}{i}"
+        self.used.add(name)
+        return name
+
+    def reserve(self, name: str) -> None:
+        self.used.add(name)

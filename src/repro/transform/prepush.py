@@ -1,0 +1,525 @@
+"""Whole-program pre-push transformation — the **Compuniformer** (§3.6).
+
+Drives the full pipeline on a parsed program:
+
+1. detect transformation opportunities (§3.1–§3.2, ``repro.analysis.patterns``),
+2. resolve each site's static geometry (``repro.transform.layout``),
+3. optionally interchange the node loop inward when it is outermost and
+   the dependences permit (§3.5, ``repro.transform.interchange``),
+4. pick or validate the tile size K (``repro.transform.tiling``),
+5. rewrite the program following the paper's five steps:
+
+   1. insert the communication code at the end of the body of ℓ
+      (guarded to fire every K-th iteration),
+   2. insert a blocking wait for the previous tile's receives before it,
+   3. insert code after ℓ to exchange leftover elements when K does not
+      divide the trip count,
+   4. insert a wait for the last blocks before the site of C,
+   5. remove C, the original ``MPI_ALLTOALL``.
+
+The entry points are :class:`Compuniformer` (configurable) and the
+convenience function :func:`prepush` (one call: text in, text out).
+Transformation never mutates the caller's AST — it deep-copies first —
+and unsuitable sites are reported, not raised, mirroring the paper's
+semi-automatic workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import TransformError
+from ..analysis.callinfo import Oracle
+from ..analysis.loops import loop_chain
+from ..analysis.patterns import (
+    ALLTOALL_NAMES,
+    Opportunity,
+    PatternKind,
+    Rejection,
+    find_opportunities,
+)
+from ..lang import builder as b
+from ..lang.ast_nodes import (
+    Expr,
+    IntLit,
+    Program,
+    SourceFile,
+    Stmt,
+    Subroutine,
+    Unit,
+)
+from ..lang.parser import parse
+from ..lang.unparser import unparse
+from ..lang.visitor import clone, index_of
+from .commgen import final_wait
+from .direct import DirectPlan, analyze_direct, gen_comm_block_a, gen_comm_block_b
+from .indirect import (
+    IndirectPlan,
+    analyze_indirect,
+    expand_temp_decl,
+    gen_send_wait,
+    gen_slab_comm,
+    gen_slot_assign,
+    redirect_producer,
+)
+from .interchange import apply_interchange, interchange_legal
+from .layout import SiteLayout, resolve_layout
+from .names import SiteNames
+from .naming import NamePool
+from .tiling import Tiling, choose_tile_size
+
+#: Accepted ``tile_size`` sentinel asking for the built-in heuristic.
+AUTO = "auto"
+
+
+@dataclass
+class SiteReport:
+    """What was done to one transformed communication site."""
+
+    unit: str
+    send_array: str
+    recv_array: str
+    kind: PatternKind
+    scheme: str  # 'A' (Fig. 4 pairwise), 'B' (owner block), 'slab' (indirect)
+    tile_size: int
+    trip: int
+    ntiles: int
+    leftover: int
+    interchanged: bool = False
+    #: arrays made dead by the rewrite (indirect: As is never written again)
+    dead_arrays: Tuple[str, ...] = ()
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def comm_rounds(self) -> int:
+        """Communication blocks issued per execution of the original C."""
+        return self.ntiles + (1 if self.leftover else 0)
+
+
+@dataclass
+class TransformReport:
+    """Result of running the Compuniformer over a program."""
+
+    source: SourceFile
+    sites: List[SiteReport]
+    rejections: List[Rejection]
+
+    @property
+    def transformed(self) -> bool:
+        return bool(self.sites)
+
+    @property
+    def dead_arrays(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for s in self.sites:
+            out.extend(s.dead_arrays)
+        return tuple(out)
+
+    def unparse(self) -> str:
+        """The transformed program as Fortran source text."""
+        return unparse(self.source)
+
+    def describe(self) -> str:
+        """Human-readable summary (what the semi-automatic tool prints)."""
+        lines: List[str] = []
+        for s in self.sites:
+            lines.append(
+                f"[{s.unit}] {s.kind.value} pattern on {s.send_array!r} -> "
+                f"{s.recv_array!r}: scheme {s.scheme}, K={s.tile_size} "
+                f"({s.ntiles} tiles"
+                + (f" + leftover {s.leftover}" if s.leftover else "")
+                + ")"
+                + (" [interchanged]" if s.interchanged else "")
+            )
+            lines.extend(f"    note: {n}" for n in s.notes)
+        for r in self.rejections:
+            lines.append(f"rejected alltoall site: {r.reason}")
+        if not lines:
+            lines.append("no transformable communication sites found")
+        return "\n".join(lines)
+
+
+class Compuniformer:
+    """Source-to-source pre-push transformer for mini-Fortran MPI programs.
+
+    Parameters
+    ----------
+    tile_size:
+        Iterations per tile (the paper's K), or ``"auto"`` for the
+        heuristic in :func:`repro.transform.tiling.choose_tile_size`.
+    oracle:
+        Answers "does procedure P mutate argument i?" for procedures whose
+        source is unavailable — the paper's semi-automatic user query
+        (§3.1).  ``None`` applies the conservative rules only.
+    interchange:
+        ``"auto"`` interchanges the node loop inward when it is outermost
+        and legal (§3.5); ``"never"`` keeps the original loop order (used
+        by Ablation E to measure the congestion cost).
+    alltoall_names:
+        Call names treated as the target collective.
+    """
+
+    def __init__(
+        self,
+        tile_size: Union[int, str] = AUTO,
+        *,
+        oracle: Optional[Oracle] = None,
+        interchange: str = "auto",
+        alltoall_names: Sequence[str] = ALLTOALL_NAMES,
+        max_sites: Optional[int] = None,
+    ) -> None:
+        if isinstance(tile_size, str) and tile_size != AUTO:
+            raise TransformError(
+                f"tile_size must be a positive int or {AUTO!r}"
+            )
+        if isinstance(tile_size, int) and tile_size < 1:
+            raise TransformError(f"tile_size {tile_size} must be >= 1")
+        if interchange not in ("auto", "never"):
+            raise TransformError(
+                f"interchange must be 'auto' or 'never', not {interchange!r}"
+            )
+        self.tile_size = tile_size
+        self.oracle = oracle
+        self.interchange = interchange
+        self.alltoall_names = tuple(alltoall_names)
+        self.max_sites = max_sites
+
+    # ------------------------------------------------------------ public api
+
+    def transform(
+        self, program: Union[str, SourceFile]
+    ) -> TransformReport:
+        """Transform every eligible site; returns a report with a new AST."""
+        source = clone(program) if isinstance(program, SourceFile) else parse(program)
+        sites: List[SiteReport] = []
+        rejections: List[Rejection] = []
+        pools: dict = {}
+        failed: Set[int] = set()  # ids of call nodes we could not transform
+
+        while self.max_sites is None or len(sites) < self.max_sites:
+            opp = self._next_opportunity(source, rejections, failed)
+            if opp is None:
+                break
+            pool = pools.setdefault(id(opp.unit), NamePool(opp.unit))
+            try:
+                sites.append(self._apply(opp, pool))
+            except TransformError as exc:
+                failed.add(id(opp.call))
+                rejections.append(
+                    Rejection(
+                        call=opp.call,
+                        call_index=opp.call_index,
+                        reason=str(exc),
+                    )
+                )
+        return TransformReport(
+            source=source, sites=sites, rejections=_dedupe(rejections)
+        )
+
+    def transform_text(self, text: str) -> str:
+        """Convenience: text in, transformed text out (no report)."""
+        return self.transform(text).unparse()
+
+    # ----------------------------------------------------------- opportunity
+
+    def _next_opportunity(
+        self,
+        source: SourceFile,
+        rejections: List[Rejection],
+        failed: Set[int],
+    ) -> Optional[Opportunity]:
+        """First untried opportunity across all program units."""
+        for unit in source.units:
+            result = find_opportunities(
+                source,
+                unit=unit,
+                oracle=self.oracle,
+                alltoall_names=self.alltoall_names,
+            )
+            for r in result.rejections:
+                rejections.append(r)
+            for opp in result.opportunities:
+                if id(opp.call) not in failed:
+                    return opp
+        return None
+
+    # ----------------------------------------------------------------- apply
+
+    def _apply(self, opp: Opportunity, pool: NamePool) -> SiteReport:
+        layout = resolve_layout(opp)
+        names = SiteNames.allocate(opp.unit, pool)
+        if opp.kind is PatternKind.DIRECT:
+            report = self._apply_direct(opp, layout, names)
+        else:
+            report = self._apply_indirect(opp, layout, names)
+        self._insert_prolog(opp.unit, names)
+        return report
+
+    def _insert_prolog(self, unit: Unit, names: SiteNames) -> None:
+        """Declare generated variables and initialize ``me = mynode()``."""
+        unit.decls.extend(names.declarations())
+        unit.body.insert(
+            0, b.assign(b.var(names.me), b.call_expr("mynode"))
+        )
+
+    # ---------------------------------------------------------------- direct
+
+    def _resolve_tile_size(
+        self, trip: int, must_divide: int = 0
+    ) -> int:
+        if self.tile_size == AUTO:
+            return choose_tile_size(trip, must_divide=must_divide)
+        k = int(self.tile_size)
+        if k > trip:
+            raise TransformError(
+                f"requested tile size {k} exceeds the {trip}-iteration trip "
+                f"count"
+            )
+        if must_divide and must_divide % k != 0:
+            raise TransformError(
+                f"requested tile size {k} does not divide the partition "
+                f"thickness {must_divide} (scheme B requirement)"
+            )
+        return k
+
+    def _apply_direct(
+        self, opp: Opportunity, layout: SiteLayout, names: SiteNames
+    ) -> SiteReport:
+        # probe the geometry with K=1 (always legal) to learn the scheme
+        probe = analyze_direct(opp, layout, tile_size=1)
+        interchanged = False
+        if (
+            probe.scheme == "B"
+            and layout.rank >= 2
+            and self.interchange == "auto"
+        ):
+            interchanged = self._try_interchange(opp, probe)
+            if interchanged:
+                probe = analyze_direct(opp, layout, tile_size=1)
+
+        trip = probe.tile_hi - probe.tile_lo + 1
+        must_divide = (
+            layout.planes_per_partition if probe.scheme == "B" else 0
+        )
+        k = self._resolve_tile_size(trip, must_divide)
+        plan = analyze_direct(opp, layout, tile_size=k)
+        tiling = Tiling(plan.tile_lo, plan.tile_hi, k)
+
+        tiled_loop = opp.nest.loops[0]
+        tv = plan.tile_var
+        ordinal = _ordinal_expr(tv, plan.tile_lo)  # 1-based iteration count
+        gen = gen_comm_block_a if plan.scheme == "A" else gen_comm_block_b
+
+        # §3.6 steps 1+2: guarded per-tile communication at the end of ℓ's
+        # tiled-loop body, preceded by the previous-tile wait
+        comm = gen(
+            plan,
+            layout,
+            names,
+            tile_end_expr=b.var(tv),
+            k=k,
+            tag_expr=b.div(_ordinal_expr(tv, plan.tile_lo), k),
+            wait_first=True,
+        )
+        guard = b.if_(b.eq(b.mod(ordinal, k), 0), comm)
+        tiled_loop.body.append(guard)
+
+        # §3.6 steps 3+4+5 at the site of C
+        post: List[Stmt] = []
+        if tiling.leftover:
+            lo, hi = tiling.leftover_range()
+            post.append(
+                b.comment(" exchange leftover elements (l mod K)")
+            )
+            post.extend(
+                gen(
+                    plan,
+                    layout,
+                    names,
+                    tile_end_expr=IntLit(value=hi),
+                    k=tiling.leftover,
+                    tag_expr=IntLit(value=tiling.ntiles + 1),
+                    wait_first=True,
+                )
+            )
+        post.extend(final_wait(names))
+        _replace_call(opp, post)
+
+        return SiteReport(
+            unit=opp.unit.name,
+            send_array=opp.send_array,
+            recv_array=opp.recv_array,
+            kind=PatternKind.DIRECT,
+            scheme=plan.scheme,
+            tile_size=k,
+            trip=trip,
+            ntiles=tiling.ntiles,
+            leftover=tiling.leftover,
+            interchanged=interchanged,
+            notes=list(opp.notes),
+        )
+
+    def _try_interchange(self, opp: Opportunity, probe: DirectPlan) -> bool:
+        """§3.5: move the node loop inward when it is outermost and legal."""
+        nest = opp.nest
+        if nest.depth < 2:
+            return False
+        # find an inner loop driving a non-last dimension of the write
+        target = None
+        for d, acc in enumerate(probe.accesses[:-1]):
+            if acc.var is None:
+                continue
+            for qi, loop in enumerate(nest.loops):
+                if qi > 0 and loop.var == acc.var:
+                    target = qi
+                    break
+            if target is not None:
+                break
+        if target is None:
+            return False
+        legal, _reason = interchange_legal(nest, 0, target, opp.params)
+        if not legal:
+            return False
+        opp.nest = apply_interchange(nest, 0, target)
+        opp.notes.append(
+            f"interchanged loops 1 and {target + 1} to move the node loop "
+            f"inward (§3.5)"
+        )
+        return True
+
+    # -------------------------------------------------------------- indirect
+
+    def _apply_indirect(
+        self, opp: Opportunity, layout: SiteLayout, names: SiteNames
+    ) -> SiteReport:
+        assert opp.copy_loop is not None and opp.temp_array is not None
+        probe = analyze_indirect(opp, layout, tile_size=1)
+        k = self._resolve_tile_size(probe.trip)
+        plan = analyze_indirect(opp, layout, tile_size=k)
+        names.need_indirect()
+        outer = opp.nest.root
+
+        # remove the copy loop ℓcp (§3.4: the aggregation is unnecessary)
+        cp_index = index_of(outer.body, opp.copy_loop)
+        if cp_index < 0:
+            raise TransformError("copy loop vanished before transformation")
+        del outer.body[cp_index]
+
+        # At gains a 2K-slot dimension (two banks, double buffering); the
+        # producer now fills slab `slot`
+        expand_temp_decl(opp.unit, opp.temp_array, 2 * k)
+        redirect_producer(opp, names)
+
+        # before the producer: the cyclic slot index
+        prod_index = index_of(outer.body, opp.producer_call)
+        if prod_index < 0:
+            raise TransformError("producer call vanished before transformation")
+        outer.body.insert(prod_index, gen_slot_assign(plan, names))
+
+        # end-of-tile guard: wait for the *previous* tile's sends (their
+        # bank is rewritten starting next iteration), then send this
+        # tile's K slabs from the current bank
+        ordinal = _ordinal_expr(plan.outer_var, plan.outer_lo)
+        first_global = b.sub(
+            _ordinal_expr(plan.outer_var, plan.outer_lo), k - 1
+        )
+        # bank offset of tile t = mod(t - 1, 2) * K, with t = ordinal / K
+        bank = b.mul(
+            b.mod(b.sub(b.div(_ordinal_expr(plan.outer_var, plan.outer_lo), k), 1), 2),
+            k,
+        )
+        comm = gen_send_wait(names) + gen_slab_comm(
+            plan,
+            layout,
+            names,
+            opp,
+            slots=k,
+            first_global_expr=first_global,
+            slot_base_expr=bank,
+        )
+        outer.body.append(b.if_(b.eq(b.mod(ordinal, k), 0), comm))
+
+        # leftover slabs + final wait at the site of C; C removed
+        post: List[Stmt] = []
+        if plan.leftover:
+            post.append(b.comment(" exchange leftover slabs"))
+            post.extend(
+                gen_slab_comm(
+                    plan,
+                    layout,
+                    names,
+                    opp,
+                    slots=plan.leftover,
+                    first_global_expr=IntLit(
+                        value=plan.trip - plan.leftover + 1
+                    ),
+                    slot_base_expr=IntLit(value=(plan.ntiles % 2) * k),
+                )
+            )
+        post.extend(final_wait(names))
+        _replace_call(opp, post)
+
+        return SiteReport(
+            unit=opp.unit.name,
+            send_array=opp.send_array,
+            recv_array=opp.recv_array,
+            kind=PatternKind.INDIRECT,
+            scheme="slab",
+            tile_size=k,
+            trip=plan.trip,
+            ntiles=plan.ntiles,
+            leftover=plan.leftover,
+            dead_arrays=(opp.send_array,),
+            notes=list(opp.notes)
+            + [
+                f"copy loop over {opp.copy_map.trip_count} elements removed"
+                if opp.copy_map
+                else "copy loop removed"
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _ordinal_expr(var: str, lo: int) -> Expr:
+    """1-based iteration ordinal ``var - lo + 1`` (folds to ``var`` at lo=1)."""
+    if lo == 1:
+        return b.var(var)
+    return b.add(b.sub(b.var(var), lo), 1)
+
+
+def _replace_call(opp: Opportunity, replacement: List[Stmt]) -> None:
+    """§3.6 step 5: splice ``replacement`` where the original C stood."""
+    body = opp.body
+    ci = index_of(body, opp.call)
+    if ci < 0:
+        raise TransformError(
+            "the original communication call vanished before transformation"
+        )
+    body[ci : ci + 1] = replacement
+
+
+def _dedupe(rejections: List[Rejection]) -> List[Rejection]:
+    """Drop repeated rejections of the same call node (the scan loop
+    re-discovers them on every pass)."""
+    seen: Set[Tuple[int, str]] = set()
+    out: List[Rejection] = []
+    for r in rejections:
+        key = (id(r.call), r.reason)
+        if key not in seen:
+            seen.add(key)
+            out.append(r)
+    return out
+
+
+def prepush(
+    program: Union[str, SourceFile],
+    tile_size: Union[int, str] = AUTO,
+    **kwargs,
+) -> TransformReport:
+    """One-call convenience wrapper around :class:`Compuniformer`."""
+    return Compuniformer(tile_size=tile_size, **kwargs).transform(program)

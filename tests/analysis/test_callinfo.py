@@ -1,0 +1,129 @@
+"""Interprocedural mutation facts and the §3.1 oracle protocol."""
+
+from repro.analysis.callinfo import (
+    ConservativeOracle,
+    DictOracle,
+    RecordingOracle,
+    call_mutates_name,
+    mutated_arg_positions,
+)
+from repro.lang import parse
+from repro.lang.ast_nodes import CallStmt
+
+
+def test_direct_mutation_detected():
+    src = """
+program t
+  integer :: a(1:4)
+
+  call f(1, a)
+end program t
+
+subroutine f(x, buf)
+  integer :: x
+  integer :: buf(1:4)
+
+  buf(2) = x
+end subroutine f
+"""
+    result = mutated_arg_positions(parse(src))
+    assert result == {"f": {1}}
+
+
+def test_transitive_mutation_fixed_point():
+    src = """
+program t
+  integer :: a(1:4)
+
+  call outer(a)
+end program t
+
+subroutine outer(p)
+  integer :: p(1:4)
+
+  call inner(p)
+end subroutine outer
+
+subroutine inner(q)
+  integer :: q(1:4)
+
+  q(1) = 9
+end subroutine inner
+"""
+    result = mutated_arg_positions(parse(src))
+    assert result["inner"] == {0}
+    assert result["outer"] == {0}  # via the call chain
+
+
+def test_scalar_dummy_assignment_counts():
+    src = """
+program t
+  integer :: x
+
+  call bump(x)
+end program t
+
+subroutine bump(v)
+  integer :: v
+
+  v = v + 1
+end subroutine bump
+"""
+    assert mutated_arg_positions(parse(src)) == {"bump": {0}}
+
+
+def test_unknown_callee_consults_oracle():
+    src = """
+program t
+  integer :: a(1:4)
+
+  call wrapper(a)
+end program t
+
+subroutine wrapper(p)
+  integer :: p(1:4)
+
+  call libraryfn(p)
+end subroutine wrapper
+"""
+    conservative = mutated_arg_positions(parse(src))
+    assert conservative["wrapper"] == {0}
+    denying = mutated_arg_positions(
+        parse(src), DictOracle({"libraryfn": set()}, default=False)
+    )
+    assert denying["wrapper"] == set()
+
+
+def test_call_mutates_name_known_and_oracle():
+    call = CallStmt(name="p", args=[parse_expr("a")])
+    assert call_mutates_name(call, "a", {"p": {0}})
+    assert not call_mutates_name(call, "a", {"p": set()})
+    # unknown procedure: oracle decides
+    assert call_mutates_name(call, "a", {}, ConservativeOracle())
+    assert not call_mutates_name(
+        call, "a", {}, DictOracle({}, default=False)
+    )
+
+
+def parse_expr(name: str):
+    from repro.lang.ast_nodes import VarRef
+
+    return VarRef(name=name)
+
+
+def test_recording_oracle_logs_queries():
+    inner = DictOracle({"p": {1}})
+    rec = RecordingOracle(inner)
+    assert rec.may_mutate("p", 1)
+    assert not rec.may_mutate("p", 0)
+    assert rec.may_mutate("unknown", 3)  # DictOracle default=True
+    assert [(q.procedure, q.arg_index, q.answer) for q in rec.queries] == [
+        ("p", 1, True),
+        ("p", 0, False),
+        ("unknown", 3, True),
+    ]
+
+
+def test_recording_oracle_defaults_to_conservative():
+    rec = RecordingOracle()
+    assert rec.may_mutate("anything", 0)

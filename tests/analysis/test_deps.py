@@ -1,0 +1,225 @@
+"""Dependence-analysis tests: write collection, output dependences, safe
+references, and a brute-force cross-check property."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import Affine
+from repro.analysis.deps import (
+    LoopSpec,
+    WriteRef,
+    banerjee_test,
+    boxes_from_loops,
+    collect_write_refs,
+    dependence_at_level,
+    find_output_dependences,
+    gcd_test,
+    safe_write_refs,
+)
+from repro.analysis.omega import Feasibility
+from repro.lang import parse, parse_stmt
+
+
+def nest_of(src):
+    """Parse a do-loop statement and return ([root], specs, params={})."""
+    loop = parse_stmt(src)
+    from repro.analysis.loops import loop_chain
+
+    nest = loop_chain(loop)
+    return loop, nest.specs({})
+
+
+class TestCollectWrites:
+    def test_simple(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = i\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        assert len(writes) == 1
+        assert writes[0].affine
+
+    def test_ignores_other_arrays(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = b(i)\nenddo")
+        assert len(collect_write_refs([loop], "b", specs)) == 0
+
+    def test_nested_and_multiple(self):
+        loop, specs = nest_of(
+            "do i = 1, 4\n  do j = 1, 4\n    a(i, j) = 0\n    a(i, j) = 1\n  enddo\nenddo"
+        )
+        writes = collect_write_refs([loop], "a", specs)
+        assert len(writes) == 2
+        assert writes[0].position < writes[1].position
+
+    def test_non_affine_marked(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i * i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        assert not writes[0].affine
+
+
+class TestFilters:
+    def test_gcd_refutes(self):
+        # 2i - 2i' + 1 == 0 impossible
+        diff = Affine.from_dict({"i": 2, "i$p": -2}, 1)
+        assert gcd_test(diff) is Feasibility.NO
+
+    def test_gcd_maybe(self):
+        diff = Affine.from_dict({"i": 2, "i$p": -2}, 4)
+        assert gcd_test(diff) is Feasibility.MAYBE
+
+    def test_banerjee_refutes_offset(self):
+        # i - i' + 100 over i,i' in [1,10]: min value 91 > 0
+        diff = Affine.from_dict({"i": 1, "i$p": -1}, 100)
+        boxes = {"i": (1, 10), "i$p": (1, 10)}
+        assert banerjee_test(diff, boxes) is Feasibility.NO
+
+    def test_banerjee_maybe_in_range(self):
+        diff = Affine.from_dict({"i": 1, "i$p": -1}, 2)
+        boxes = {"i": (1, 10), "i$p": (1, 10)}
+        assert banerjee_test(diff, boxes) is Feasibility.MAYBE
+
+    def test_banerjee_unknown_bounds(self):
+        diff = Affine.from_dict({"i": 1, "n": -1}, 0)
+        assert banerjee_test(diff, {"i": (1, 10)}) is Feasibility.MAYBE
+
+
+class TestOutputDependences:
+    def test_injective_write_has_none(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = i\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert deps == []
+
+    def test_overwrite_detected(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(1) = i\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert len(deps) >= 1
+
+    def test_shifted_overwrite(self):
+        # a(i) and a(i-1): iteration i writes what i+1... a(i-1) at i'=i+1
+        loop, specs = nest_of(
+            "do i = 2, 10\n  a(i) = 0\n  a(i - 1) = 1\nenddo"
+        )
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert deps
+        # direction of the carried dep must be '<'
+        assert any(d.direction and d.direction[0] == "<" for d in deps)
+
+    def test_loop_independent_dep(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = 0\n  a(i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert any(all(x == "=" for x in d.direction) for d in deps)
+
+    def test_disjoint_halves_independent(self):
+        loop, specs = nest_of(
+            "do i = 1, 10\n  a(i) = 0\n  a(i + 10) = 1\nenddo"
+        )
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert deps == []
+
+    def test_2d_independent(self):
+        loop, specs = nest_of(
+            "do i = 1, 8\n  do j = 1, 8\n    a(i, j) = i + j\n  enddo\nenddo"
+        )
+        writes = collect_write_refs([loop], "a", specs)
+        assert (
+            find_output_dependences(writes, specs, boxes_from_loops(specs)) == []
+        )
+
+    def test_2d_row_reuse(self):
+        loop, specs = nest_of(
+            "do i = 1, 8\n  do j = 1, 8\n    a(j) = i + j\n  enddo\nenddo"
+        )
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert deps  # outer loop rewrites whole row
+
+    def test_non_affine_conservative(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i * i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+        assert deps and not deps[0].exact
+
+
+class TestSafeRefs:
+    def test_safe_when_injective(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(2 * i) = i\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        assert len(safe_write_refs(writes, specs, boxes_from_loops(specs))) == 1
+
+    def test_unsafe_when_overwritten(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(mod(i, 2)) = i\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        assert safe_write_refs(writes, specs, boxes_from_loops(specs)) == []
+
+    def test_last_write_is_safe_first_not(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = 0\n  a(i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        safe = safe_write_refs(writes, specs, boxes_from_loops(specs))
+        assert len(safe) == 1
+        assert safe[0].position == writes[1].position
+
+
+class TestDependenceAtLevel:
+    def test_level0_needs_lexical_order(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i) = 0\n  a(i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        w1, w2 = writes
+        assert dependence_at_level(w1, w2, specs, 0) is Feasibility.YES
+        assert dependence_at_level(w2, w1, specs, 0) is Feasibility.NO
+
+    def test_carried_level(self):
+        loop, specs = nest_of("do i = 1, 10\n  a(i + 1) = 0\n  a(i) = 1\nenddo")
+        writes = collect_write_refs([loop], "a", specs)
+        w_hi, w_lo = writes
+        # a(i+1) at i is rewritten by a(i') at i' = i+1 > i: carried at level 1
+        assert dependence_at_level(w_hi, w_lo, specs, 1) is Feasibility.YES
+
+
+# ---------------------------------------------------------------------------
+# Property: analysis agrees with direct simulation of the writes
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def write_patterns(draw):
+    """Random 1-D write subscripts c*i + k over a small loop."""
+    n = draw(st.integers(3, 8))
+    nwrites = draw(st.integers(1, 2))
+    subs = []
+    for _ in range(nwrites):
+        c = draw(st.integers(0, 3))
+        k = draw(st.integers(-2, 4))
+        subs.append((c, k))
+    return n, subs
+
+
+@given(write_patterns())
+@settings(max_examples=150, deadline=None)
+def test_output_dependence_matches_execution(pattern):
+    n, subs = pattern
+    body = "\n".join(
+        f"  a({c} * i + {k}) = {idx}" for idx, (c, k) in enumerate(subs)
+    )
+    loop = parse_stmt(f"do i = 1, {n}\n{body}\nenddo")
+    specs = [LoopSpec.from_doloop(loop, {})]
+    writes = collect_write_refs([loop], "a", specs)
+    deps = find_output_dependences(writes, specs, boxes_from_loops(specs))
+
+    # simulate: does any location get written twice?
+    seen = {}
+    overwrote = False
+    for i in range(1, n + 1):
+        for c, k in subs:
+            loc = c * i + k
+            if loc in seen:
+                overwrote = True
+            seen[loc] = True
+
+    if overwrote:
+        assert deps, f"missed dependence for {subs} over [1,{n}]"
+    else:
+        assert not deps, f"false dependence for {subs} over [1,{n}]"

@@ -1,0 +1,245 @@
+"""Omega-lite integer feasibility tests, cross-validated against brute
+force enumeration (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import Affine
+from repro.analysis.omega import (
+    Constraint,
+    Feasibility,
+    is_feasible,
+    solve_sample,
+)
+
+
+def V(name, c=1):
+    return Affine.variable(name, c)
+
+
+def C(k):
+    return Affine.constant(k)
+
+
+def box(name, lo, hi):
+    return [
+        Constraint.ge(V(name), C(lo)),
+        Constraint.le(V(name), C(hi)),
+    ]
+
+
+class TestBasics:
+    def test_empty_system_feasible(self):
+        assert is_feasible([]) is Feasibility.YES
+
+    def test_trivially_false(self):
+        assert is_feasible([Constraint.geq0(C(-1))]) is Feasibility.NO
+
+    def test_trivially_true(self):
+        assert is_feasible([Constraint.geq0(C(0))]) is Feasibility.YES
+
+    def test_single_box(self):
+        assert is_feasible(box("i", 1, 10)) is Feasibility.YES
+
+    def test_empty_box(self):
+        assert is_feasible(box("i", 10, 1)) is Feasibility.NO
+
+    def test_equality_within_box(self):
+        cons = box("i", 1, 10) + [Constraint.equals(V("i"), C(5))]
+        assert is_feasible(cons) is Feasibility.YES
+
+    def test_equality_outside_box(self):
+        cons = box("i", 1, 10) + [Constraint.equals(V("i"), C(50))]
+        assert is_feasible(cons) is Feasibility.NO
+
+
+class TestGcdEqualities:
+    def test_even_sum_odd_target(self):
+        # 2i + 4j == 7 has no integer solution
+        expr = V("i", 2) + V("j", 4) - C(7)
+        assert is_feasible([Constraint.eq0(expr)]) is Feasibility.NO
+
+    def test_even_sum_even_target(self):
+        expr = V("i", 2) + V("j", 4) - C(6)
+        cons = [Constraint.eq0(expr)] + box("i", -10, 10) + box("j", -10, 10)
+        assert is_feasible(cons) is Feasibility.YES
+
+    def test_no_unit_coefficient_equality(self):
+        # 3i + 5j == 1 solvable over Z (i=2, j=-1)
+        expr = V("i", 3) + V("j", 5) - C(1)
+        cons = [Constraint.eq0(expr)] + box("i", -10, 10) + box("j", -10, 10)
+        assert is_feasible(cons) is Feasibility.YES
+
+    def test_no_unit_coefficient_infeasible_in_box(self):
+        # 3i + 5j == 1 with i,j in [0, 0] -> no
+        expr = V("i", 3) + V("j", 5) - C(1)
+        cons = [Constraint.eq0(expr)] + box("i", 0, 0) + box("j", 0, 0)
+        assert is_feasible(cons) is Feasibility.NO
+
+
+class TestDependenceShapes:
+    def test_same_iteration_conflict_impossible(self):
+        # i == i' and i < i'
+        cons = (
+            box("i", 1, 100)
+            + box("ip", 1, 100)
+            + [
+                Constraint.equals(V("i"), V("ip")),
+                Constraint.lt(V("i"), V("ip")),
+            ]
+        )
+        assert is_feasible(cons) is Feasibility.NO
+
+    def test_overwrite_mod_pattern(self):
+        # a(i) and a(i+8): i + 8 == i' feasible in [1, 16]
+        cons = (
+            box("i", 1, 16)
+            + box("ip", 1, 16)
+            + [
+                Constraint.equals(V("i") + C(8), V("ip")),
+                Constraint.lt(V("i"), V("ip")),
+            ]
+        )
+        assert is_feasible(cons) is Feasibility.YES
+
+    def test_stride_2_disjoint(self):
+        # 2i == 2i' + 1 never
+        cons = (
+            box("i", 1, 50)
+            + box("ip", 1, 50)
+            + [Constraint.equals(V("i", 2), V("ip", 2) + C(1))]
+        )
+        assert is_feasible(cons) is Feasibility.NO
+
+    def test_dark_shadow_exact_for_unit_coeffs(self):
+        # classic: i' == i + 1 within bounds
+        cons = (
+            box("i", 1, 9)
+            + box("ip", 1, 9)
+            + [Constraint.equals(V("ip"), V("i") + C(1))]
+        )
+        assert is_feasible(cons) is Feasibility.YES
+
+    def test_symbolic_bounds_still_decidable(self):
+        # i in [1, n], i' in [1, n], i == i', i < i'  -> NO without knowing n
+        n = V("n")
+        cons = [
+            Constraint.ge(V("i"), C(1)),
+            Constraint.le(V("i"), n),
+            Constraint.ge(V("ip"), C(1)),
+            Constraint.le(V("ip"), n),
+            Constraint.equals(V("i"), V("ip")),
+            Constraint.lt(V("i"), V("ip")),
+        ]
+        assert is_feasible(cons) is Feasibility.NO
+
+
+class TestNightmareRegion:
+    def test_coarse_coefficients(self):
+        # 2x <= 2y - 1 <= 2x + 1 has no integer solution (parity), the
+        # classic real-shadow-feasible / integer-infeasible example.
+        cons = (
+            box("x", 0, 10)
+            + box("y", 0, 10)
+            + [
+                Constraint.geq0(V("y", 2) - C(1) - V("x", 2)),
+                Constraint.geq0(V("x", 2) + C(1) - (V("y", 2) - C(1))),
+                # force exact: y*2 - 1 must equal some even number -> never
+                Constraint.eq0(V("y", 2) - C(1) - V("x", 2)),
+            ]
+        )
+        assert is_feasible(cons) is Feasibility.NO
+
+    def test_bounded_enumeration_fallback(self):
+        # 3x + 5y == 11, x,y in [0,3]: x=2,y=1 works
+        cons = (
+            box("x", 0, 3)
+            + box("y", 0, 3)
+            + [Constraint.eq0(V("x", 3) + V("y", 5) - C(11))]
+        )
+        assert is_feasible(cons) is Feasibility.YES
+
+
+class TestSolveSample:
+    def test_returns_witness(self):
+        cons = box("i", 3, 7) + [Constraint.equals(V("i"), C(5))]
+        w = solve_sample(cons)
+        assert w == {"i": 5}
+
+    def test_none_for_infeasible(self):
+        cons = box("i", 3, 7) + [Constraint.equals(V("i"), C(50))]
+        assert solve_sample(cons) is None
+
+    def test_witness_satisfies_all(self):
+        cons = (
+            box("i", 1, 10)
+            + box("j", 1, 10)
+            + [Constraint.ge(V("i") + V("j"), C(15))]
+        )
+        w = solve_sample(cons)
+        assert w is not None
+        assert w["i"] + w["j"] >= 15
+
+
+# ---------------------------------------------------------------------------
+# Property: solver agrees with brute force on random small systems
+# ---------------------------------------------------------------------------
+
+_coeff = st.integers(-4, 4)
+
+
+@st.composite
+def small_system(draw):
+    nvars = draw(st.integers(1, 3))
+    names = ["x", "y", "z"][:nvars]
+    cons = []
+    boxes = {}
+    for n in names:
+        lo = draw(st.integers(-4, 2))
+        hi = lo + draw(st.integers(0, 6))
+        boxes[n] = (lo, hi)
+        cons += box(n, lo, hi)
+    ncons = draw(st.integers(1, 3))
+    for _ in range(ncons):
+        coeffs = {n: draw(_coeff) for n in names}
+        const = draw(st.integers(-8, 8))
+        expr = Affine.from_dict(coeffs, const)
+        if draw(st.booleans()):
+            cons.append(Constraint.eq0(expr))
+        else:
+            cons.append(Constraint.geq0(expr))
+    return cons, boxes, names
+
+
+@given(small_system())
+@settings(max_examples=120, deadline=None)
+def test_matches_brute_force(system):
+    cons, boxes, names = system
+    result = is_feasible(cons)
+
+    ranges = [range(boxes[n][0], boxes[n][1] + 1) for n in names]
+    brute = False
+    for point in itertools.product(*ranges):
+        env = dict(zip(names, point))
+        ok = True
+        for c in cons:
+            val = c.expr.evaluate(env)
+            if c.is_equality and val != 0:
+                ok = False
+                break
+            if not c.is_equality and val < 0:
+                ok = False
+                break
+        if ok:
+            brute = True
+            break
+
+    if result is Feasibility.YES:
+        assert brute
+    elif result is Feasibility.NO:
+        assert not brute
+    # MAYBE is always acceptable (sound); but flag it so we notice if the
+    # exact fallback stops covering bounded systems.
+    assert result is not Feasibility.MAYBE, "bounded system should be decided"

@@ -1,0 +1,298 @@
+"""Tests for loop-nest facts, interprocedural mutation, parameter
+evaluation, quasi-affine collapsing, and opportunity detection."""
+
+import pytest
+
+from repro.analysis import (
+    DictOracle,
+    PatternKind,
+    RecordingOracle,
+    find_opportunities,
+    loop_chain,
+    mutated_arg_positions,
+    parameter_values,
+)
+from repro.analysis.affine import Affine
+from repro.analysis.loops import (
+    contains_branch,
+    find_last_mutating_nest,
+    is_perfect_nest,
+    loop_indexing_dimension,
+    mutates_array,
+)
+from repro.analysis.quasi import collapse_divmod, to_quasi_affine
+from repro.errors import AnalysisError, NotAffineError
+from repro.lang import parse, parse_expr, parse_stmt
+
+
+class TestLoopChain:
+    def test_single(self):
+        nest = loop_chain(parse_stmt("do i = 1, 4\n  x = i\nenddo"))
+        assert nest.depth == 1
+        assert nest.loop_vars == ["i"]
+
+    def test_triple(self):
+        nest = loop_chain(
+            parse_stmt(
+                "do i = 1, 2\n  do j = 1, 3\n    do k = 1, 4\n      x = 0\n"
+                "    enddo\n  enddo\nenddo"
+            )
+        )
+        assert nest.loop_vars == ["i", "j", "k"]
+        assert is_perfect_nest(nest)
+
+    def test_imperfect_stops_chain_correctly(self):
+        nest = loop_chain(
+            parse_stmt(
+                "do i = 1, 2\n  x = 0\n  do j = 1, 3\n    y = 1\n  enddo\nenddo"
+            )
+        )
+        assert nest.loop_vars == ["i", "j"]
+        assert not is_perfect_nest(nest)
+
+    def test_two_sibling_loops_stop_chain(self):
+        nest = loop_chain(
+            parse_stmt(
+                "do i = 1, 2\n  do j = 1, 3\n    x = 0\n  enddo\n"
+                "  do k = 1, 3\n    y = 0\n  enddo\nenddo"
+            )
+        )
+        assert nest.loop_vars == ["i"]
+
+
+class TestMutationFacts:
+    def test_direct_assignment(self):
+        s = parse_stmt("do i = 1, 4\n  a(i) = 0\nenddo")
+        assert mutates_array(s, "a")
+        assert not mutates_array(s, "b")
+
+    def test_byref_known(self):
+        s = parse_stmt("do i = 1, 4\n  call p(i, a)\nenddo")
+        assert mutates_array(s, "a", {"p": [1]})
+        assert not mutates_array(s, "a", {"p": [0]})
+
+    def test_unknown_call_not_mutator_here(self):
+        s = parse_stmt("do i = 1, 4\n  call p(i, a)\nenddo")
+        assert not mutates_array(s, "a", {})
+
+    def test_find_last_mutating_nest(self):
+        tree = parse(
+            "program p\ninteger :: a(4), b(4)\ninteger :: i\n"
+            "do i = 1, 4\n  a(i) = 0\nenddo\n"
+            "do i = 1, 4\n  b(i) = 0\nenddo\n"
+            "call c(a)\nend"
+        )
+        body = tree.main.body
+        found = find_last_mutating_nest(body, 2, "a")
+        assert found is not None and found[0] == 0
+        found_b = find_last_mutating_nest(body, 2, "b")
+        assert found_b is not None and found_b[0] == 1
+
+    def test_branch_detection(self):
+        s = parse_stmt("do i = 1, 2\n  if (i > 1) then\n    x = 1\n  endif\nenddo")
+        assert contains_branch([s])
+        assert not contains_branch([parse_stmt("x = 1")])
+
+    def test_loop_indexing_dimension(self):
+        nest = loop_chain(
+            parse_stmt("do i = 1, 4\n  do j = 1, 4\n    a(j, i) = 0\n  enddo\nenddo")
+        )
+        ref = nest.innermost.body[0].lhs
+        assert loop_indexing_dimension(nest, ref, 0).var == "j"
+        assert loop_indexing_dimension(nest, ref, 1).var == "i"
+
+    def test_loop_indexing_mixed_dim_none(self):
+        nest = loop_chain(
+            parse_stmt("do i = 1, 4\n  do j = 1, 4\n    a(i + j) = 0\n  enddo\nenddo")
+        )
+        ref = nest.innermost.body[0].lhs
+        assert loop_indexing_dimension(nest, ref, 0) is None
+
+
+class TestInterprocedural:
+    def test_direct_param_write(self):
+        tree = parse("subroutine s(a, b)\ninteger :: a(4), b\na(1) = 0\nend")
+        m = mutated_arg_positions(tree)
+        assert m["s"] == {0}
+
+    def test_transitive(self):
+        tree = parse(
+            "subroutine outer(x)\ninteger :: x(4)\ncall inner(x)\nend\n"
+            "subroutine inner(y)\ninteger :: y(4)\ny(2) = 1\nend"
+        )
+        m = mutated_arg_positions(tree)
+        assert m["outer"] == {0}
+
+    def test_unknown_callee_conservative(self):
+        tree = parse("subroutine s(a)\ninteger :: a(4)\ncall mystery(a)\nend")
+        m = mutated_arg_positions(tree)
+        assert m["s"] == {0}
+
+    def test_unknown_callee_with_oracle(self):
+        tree = parse("subroutine s(a)\ninteger :: a(4)\ncall mystery(a)\nend")
+        m = mutated_arg_positions(tree, DictOracle({"mystery": set()}))
+        assert m["s"] == set()
+
+    def test_recording_oracle(self):
+        tree = parse("subroutine s(a)\ninteger :: a(4)\ncall mystery(a)\nend")
+        rec = RecordingOracle()
+        mutated_arg_positions(tree, rec)
+        assert any(q.procedure == "mystery" for q in rec.queries)
+
+
+class TestParameters:
+    def test_chain(self):
+        tree = parse(
+            "program p\ninteger, parameter :: nx = 8, np = 2, szp = nx / np\nend"
+        )
+        assert parameter_values(tree.main) == {"nx": 8, "np": 2, "szp": 4}
+
+    def test_missing_init_rejected(self):
+        tree = parse("program p\ninteger, parameter :: n\nend")
+        with pytest.raises(AnalysisError):
+            parameter_values(tree.main)
+
+    def test_real_parameters_skipped(self):
+        tree = parse("program p\nreal, parameter :: t = 0.5\nend")
+        assert parameter_values(tree.main) == {}
+
+
+class TestQuasiAffine:
+    def test_mod_div_collapse(self):
+        # mod(ix-1, 4) + 4*((ix-1)/4) == ix - 1 for ix >= 1
+        e1, t1 = to_quasi_affine(parse_expr("mod(ix - 1, 4)"))
+        e2, t2 = to_quasi_affine(parse_expr("(ix - 1) / 4"))
+        combined = e1 + e2.scale(4)
+        t1.update(t2)
+        out = collapse_divmod(combined, t1, {"ix": (1, 16)})
+        assert out == Affine.from_dict({"ix": 1}, -1)
+
+    def test_no_collapse_without_nonneg_proof(self):
+        e1, t1 = to_quasi_affine(parse_expr("mod(ix - 1, 4)"))
+        e2, t2 = to_quasi_affine(parse_expr("(ix - 1) / 4"))
+        combined = e1 + e2.scale(4)
+        t1.update(t2)
+        with pytest.raises(NotAffineError):
+            collapse_divmod(combined, t1, {"ix": (-5, 16)})
+
+    def test_mismatched_scale_no_collapse(self):
+        e1, t1 = to_quasi_affine(parse_expr("mod(ix - 1, 4)"))
+        e2, t2 = to_quasi_affine(parse_expr("(ix - 1) / 4"))
+        combined = e1 + e2.scale(5)  # wrong multiplier
+        t1.update(t2)
+        with pytest.raises(NotAffineError):
+            collapse_divmod(combined, t1, {"ix": (1, 16)})
+
+    def test_plain_affine_passthrough(self):
+        e, t = to_quasi_affine(parse_expr("2 * i + 3"))
+        assert t == {}
+        assert collapse_divmod(e, t) == Affine.from_dict({"i": 2}, 3)
+
+
+DIRECT_SRC = """
+program main
+  integer, parameter :: nx = 16, np = 4
+  integer :: as(nx), ar(nx)
+  integer :: ix, iy, ierr
+  do iy = 1, nx
+    do ix = 1, nx
+      as(ix) = ix * iy
+    enddo
+    call mpi_alltoall(as, nx / np, 1, ar, nx / np, 1, 0, ierr)
+  enddo
+end program
+"""
+
+INDIRECT_SRC = """
+program main
+  integer, parameter :: n1 = 4, n2 = 4, n3 = 8, np = 4
+  integer :: as(n1, n2, n3), ar(n1, n2, n3)
+  integer :: at(n1 * n2)
+  integer :: ix, iy, tx, ty, ierr
+  external p
+  do iy = 1, n3
+    call p(iy, at)
+    do ix = 1, n1 * n2
+      tx = mod(ix - 1, n1) + 1
+      ty = (ix - 1) / n1 + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n1 * n2 * n3 / np, 1, ar, n1 * n2 * n3 / np, 1, 0, ierr)
+end program
+"""
+
+
+class TestOpportunityDetection:
+    def test_direct_found(self):
+        res = find_opportunities(parse(DIRECT_SRC))
+        assert len(res.opportunities) == 1
+        opp = res.opportunities[0]
+        assert opp.kind is PatternKind.DIRECT
+        assert opp.send_array == "as"
+        assert opp.recv_array == "ar"
+        assert opp.nest.loop_vars == ["ix"]
+
+    def test_indirect_found_and_verified(self):
+        res = find_opportunities(parse(INDIRECT_SRC))
+        assert len(res.opportunities) == 1
+        opp = res.opportunities[0]
+        assert opp.kind is PatternKind.INDIRECT
+        assert opp.temp_array == "at"
+        assert opp.copy_map.slab_size == 16
+        # slab base = 16 * (iy - 1)
+        assert opp.copy_map.as_flat_base == Affine.from_dict({"iy": 16}, -16)
+
+    def test_unsafe_overwrite_rejected(self):
+        src = DIRECT_SRC.replace("as(ix) = ix * iy", "as(mod(ix, 4) + 1) = ix")
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+        assert any("non-affine" in r.reason or "output dep" in r.reason
+                   for r in res.rejections)
+
+    def test_branch_in_nest_rejected(self):
+        src = DIRECT_SRC.replace(
+            "as(ix) = ix * iy",
+            "if (ix > 1) then\n  as(ix) = ix\nendif",
+        )
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+        assert any("conditional" in r.reason for r in res.rejections)
+
+    def test_intervening_use_rejected(self):
+        src = DIRECT_SRC.replace(
+            "    call mpi_alltoall",
+            "    as(1) = 0\n    call mpi_alltoall",
+        )
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+
+    def test_recv_array_used_in_nest_rejected(self):
+        src = DIRECT_SRC.replace("as(ix) = ix * iy", "as(ix) = ar(ix) + iy")
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+        assert any("earliest safe receive" in r.reason for r in res.rejections)
+
+    def test_non_flat_copy_rejected(self):
+        # transpose copy: at lands out of flat order
+        src = INDIRECT_SRC.replace(
+            "tx = mod(ix - 1, n1) + 1",
+            "tx = (ix - 1) / n1 + 1",
+        ).replace(
+            "ty = (ix - 1) / n1 + 1",
+            "ty = mod(ix - 1, n1) + 1",
+        )
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+
+    def test_oracle_declines_producer(self):
+        oracle = DictOracle({"p": set()})
+        res = find_opportunities(parse(INDIRECT_SRC), oracle=oracle)
+        # producer "does not mutate at" -> no mutating nest at all
+        assert not res.opportunities
+
+    def test_partial_copy_rejected(self):
+        src = INDIRECT_SRC.replace("do ix = 1, n1 * n2", "do ix = 1, n1")
+        res = find_opportunities(parse(src))
+        assert not res.opportunities
+        assert any("trip count" in r.reason for r in res.rejections)

@@ -1,0 +1,102 @@
+"""Quasi-affine forms: mod/div opaque terms and the collapse identity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.affine import Affine
+from repro.analysis.quasi import collapse_divmod, to_quasi_affine
+from repro.errors import NotAffineError
+from repro.lang import parse
+
+
+def _expr(text: str):
+    """Parse an expression by wrapping it in an assignment."""
+    src = f"program t\n  integer :: x, ix, n\n\n  x = {text}\nend program t\n"
+    return parse(src).main.body[0].rhs
+
+
+class TestToQuasiAffine:
+    def test_plain_affine_passthrough(self):
+        a, table = to_quasi_affine(_expr("2 * ix + 3"))
+        assert not table
+        assert a.coeff("ix") == 2 and a.const == 3
+
+    def test_mod_becomes_opaque(self):
+        a, table = to_quasi_affine(_expr("mod(ix - 1, 8)"))
+        assert len(table) == 1
+        (term,) = table.values()
+        assert term.kind == "mod"
+        assert term.modulus == 8
+        assert term.base.coeff("ix") == 1 and term.base.const == -1
+
+    def test_div_becomes_opaque(self):
+        a, table = to_quasi_affine(_expr("(ix - 1) / 8"))
+        (term,) = table.values()
+        assert term.kind == "div"
+
+    def test_exact_division_stays_affine(self):
+        a, table = to_quasi_affine(_expr("(8 * ix + 16) / 8"))
+        assert not table
+        assert a.coeff("ix") == 1 and a.const == 2
+
+    def test_constant_folding(self):
+        a, table = to_quasi_affine(_expr("mod(13, 8) + 7 / 2"))
+        assert not table
+        assert a.is_constant and a.const == 5 + 3
+
+    def test_params_substituted(self):
+        a, table = to_quasi_affine(_expr("mod(ix - 1, n)"), {"n": 4})
+        (term,) = table.values()
+        assert term.modulus == 4
+
+    def test_mod_by_variable_rejected(self):
+        with pytest.raises(NotAffineError):
+            to_quasi_affine(_expr("mod(ix, n)"))
+
+    def test_nonpositive_modulus_rejected(self):
+        with pytest.raises(NotAffineError):
+            to_quasi_affine(_expr("mod(ix, 0 - 2)"))
+
+    def test_product_of_variables_rejected(self):
+        with pytest.raises(NotAffineError):
+            to_quasi_affine(_expr("ix * ix"))
+
+
+class TestCollapse:
+    def _fig3_flat(self, n=10):
+        """Column-major flat offset of as(tx, ty, .) from Figure 3:
+        mod(ix-1, n) + n*div(ix-1, n)."""
+        a, table = to_quasi_affine(_expr(f"mod(ix - 1, {n}) + ((ix - 1) / {n}) * {n}"))
+        return a, table
+
+    def test_figure3_collapse(self):
+        a, table = self._fig3_flat()
+        out = collapse_divmod(a, table, {"ix": (1, 100)})
+        assert out == Affine.from_dict({"ix": 1}, -1)
+
+    def test_collapse_requires_nonnegativity_proof(self):
+        a, table = self._fig3_flat()
+        with pytest.raises(NotAffineError, match="could not be collapsed"):
+            collapse_divmod(a, table, {"ix": (-5, 100)})
+
+    def test_collapse_requires_matching_coefficients(self):
+        # mod + 2*n*div does not satisfy the identity
+        a, table = to_quasi_affine(
+            _expr("mod(ix - 1, 10) + ((ix - 1) / 10) * 20")
+        )
+        with pytest.raises(NotAffineError):
+            collapse_divmod(a, table, {"ix": (1, 100)})
+
+    def test_scaled_pair_collapses(self):
+        # 3*mod + 30*div == 3*(ix-1)
+        a, table = to_quasi_affine(
+            _expr("3 * mod(ix - 1, 10) + ((ix - 1) / 10) * 30")
+        )
+        out = collapse_divmod(a, table, {"ix": (1, 100)})
+        assert out.coeff("ix") == 3 and out.const == -3
+
+    @given(ix=st.integers(1, 500), n=st.sampled_from([2, 5, 8, 16]))
+    def test_identity_semantics(self, ix, n):
+        """The collapse is the true Fortran semantics for ix >= 1."""
+        assert (ix - 1) % n + n * ((ix - 1) // n) == ix - 1

@@ -1,0 +1,165 @@
+"""Array region (partial triplet) analysis tests."""
+
+import pytest
+
+from repro.analysis.affine import Affine, to_affine
+from repro.analysis.deps import LoopSpec
+from repro.analysis.regions import (
+    BlockStructure,
+    Region,
+    Triplet,
+    VarRange,
+    access_region,
+    block_structure,
+    covers_dimension,
+    dim_extent,
+    subscript_triplet,
+)
+from repro.errors import AnalysisError, NotAffineError
+from repro.lang import parse, parse_expr
+from repro.lang.ast_nodes import ArrayRef, DimSpec, IntLit
+
+
+def A(src, params=None):
+    return to_affine(parse_expr(src), params)
+
+
+def rng(lo, hi, params=None):
+    return VarRange(A(str(lo) if isinstance(lo, int) else lo, params),
+                    A(str(hi) if isinstance(hi, int) else hi, params))
+
+
+class TestSubscriptTriplet:
+    def test_increasing(self):
+        t = subscript_triplet(A("i"), {"i": rng(1, 10)})
+        assert t.lo == Affine.constant(1)
+        assert t.hi == Affine.constant(10)
+
+    def test_negative_coefficient_swaps(self):
+        t = subscript_triplet(A("10 - i"), {"i": rng(1, 4)})
+        assert t.lo == Affine.constant(6)
+        assert t.hi == Affine.constant(9)
+
+    def test_symbolic_constant_kept(self):
+        t = subscript_triplet(A("i + base"), {"i": rng(1, "k")})
+        assert t.lo == A("1 + base")
+        assert t.hi == A("k + base")
+
+    def test_point_when_var_not_ranged(self):
+        t = subscript_triplet(A("j"), {"i": rng(1, 10)})
+        assert t.is_point()
+
+    def test_extent(self):
+        t = subscript_triplet(A("i"), {"i": rng(2, 7)})
+        assert t.extent() == Affine.constant(6)
+
+    def test_dependent_range_bounds_rejected(self):
+        with pytest.raises(AnalysisError):
+            subscript_triplet(
+                A("i + j"),
+                {"i": rng(1, 4), "j": VarRange(A("i"), A("i"))},
+            )
+
+
+class TestAccessRegion:
+    def _ref(self, src):
+        e = parse_expr(src)
+        assert isinstance(e, ArrayRef)
+        return e
+
+    def test_2d(self):
+        r = access_region(
+            self._ref("a(i, j)"), {"i": rng(1, 4), "j": rng(1, 8)}
+        )
+        assert r.rank == 2
+        assert r.size() == Affine.constant(32)
+
+    def test_tile_range(self):
+        r = access_region(self._ref("a(i)"), {"i": rng("t", "t + 3")})
+        assert r.triplets[0].lo == A("t")
+        assert r.triplets[0].hi == A("t + 3")
+        assert r.size() == Affine.constant(4)
+
+    def test_params_folded(self):
+        r = access_region(
+            self._ref("a(i + nx)"), {"i": rng(1, 2)}, {"nx": 10}
+        )
+        assert r.triplets[0].lo == Affine.constant(11)
+
+
+def dim(lo, hi):
+    return DimSpec(lo=IntLit(value=lo), hi=IntLit(value=hi))
+
+
+class TestBlockStructure:
+    def test_full_coverage_contiguous(self):
+        region = Region(
+            "a",
+            (
+                Triplet(Affine.constant(1), Affine.constant(4)),
+                Triplet(Affine.constant(1), Affine.constant(8)),
+            ),
+        )
+        bs = block_structure(region, [dim(1, 4), dim(1, 8)])
+        assert bs.contiguous
+        assert bs.block_size == Affine.constant(32)
+
+    def test_partial_outer_dim_still_contiguous(self):
+        # full first dim, prefix of second: one contiguous run col-major
+        region = Region(
+            "a",
+            (
+                Triplet(Affine.constant(1), Affine.constant(4)),
+                Triplet(Affine.constant(1), Affine.constant(3)),
+            ),
+        )
+        bs = block_structure(region, [dim(1, 4), dim(1, 8)])
+        assert bs.contiguous
+        assert bs.block_size == Affine.constant(12)
+
+    def test_partial_inner_dim_blocks(self):
+        # half the first dim, all 8 of second: 8 blocks of 2
+        region = Region(
+            "a",
+            (
+                Triplet(Affine.constant(1), Affine.constant(2)),
+                Triplet(Affine.constant(1), Affine.constant(8)),
+            ),
+        )
+        bs = block_structure(region, [dim(1, 4), dim(1, 8)])
+        assert not bs.contiguous
+        assert bs.block_size == Affine.constant(2)
+        assert bs.num_blocks == Affine.constant(8)
+
+    def test_point_rows_per_column(self):
+        region = Region(
+            "a",
+            (
+                Triplet(A("r"), A("r")),
+                Triplet(Affine.constant(1), Affine.constant(8)),
+            ),
+        )
+        bs = block_structure(region, [dim(1, 4), dim(1, 8)])
+        assert bs.block_size == Affine.constant(1)
+        assert bs.num_blocks == Affine.constant(8)
+
+    def test_rank_mismatch_rejected(self):
+        region = Region("a", (Triplet(Affine.constant(1), Affine.constant(2)),))
+        with pytest.raises(AnalysisError):
+            block_structure(region, [dim(1, 4), dim(1, 8)])
+
+
+class TestDimHelpers:
+    def test_dim_extent(self):
+        assert dim_extent(dim(0, 9)) == Affine.constant(10)
+
+    def test_covers_dimension(self):
+        t = Triplet(Affine.constant(1), Affine.constant(8))
+        assert covers_dimension(t, dim(1, 8))
+        assert not covers_dimension(t, dim(1, 9))
+        assert not covers_dimension(t, dim(0, 8))
+
+    def test_covers_symbolic(self):
+        d = DimSpec(lo=IntLit(value=1), hi=parse_expr("n"))
+        t = Triplet(Affine.constant(1), A("n"))
+        assert covers_dimension(t, d)

@@ -1,0 +1,35 @@
+"""Shared fixtures wrapping the canonical test programs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from tests.programs import direct_1d, direct_2d, indirect_3d, nodeloop_outer
+
+# Property tests run a deterministic simulator / exact solvers whose cost
+# per example varies widely; the wall-clock deadline is meaningless and
+# 50 examples keeps the full suite's runtime bounded.  Tests may override
+# with their own @settings.
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def fig2_source() -> str:
+    return direct_1d()
+
+
+@pytest.fixture
+def twod_source() -> str:
+    return direct_2d()
+
+
+@pytest.fixture
+def nodeloop_source() -> str:
+    return nodeloop_outer()
+
+
+@pytest.fixture
+def indirect_source() -> str:
+    return indirect_3d()

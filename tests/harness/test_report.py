@@ -1,0 +1,89 @@
+"""Result tables and chart rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.report import Table, bar_chart, format_cell, format_seconds
+
+
+class TestTable:
+    def _table(self):
+        t = Table(title="demo", columns=["name", "x", "y"])
+        t.add("a", 1, 2.5)
+        t.add("b", 3, 0.125)
+        return t
+
+    def test_add_and_column(self):
+        t = self._table()
+        assert t.column("name") == ["a", "b"]
+        assert t.column("x") == [1, 3]
+
+    def test_wrong_arity_rejected(self):
+        t = self._table()
+        with pytest.raises(ReproError, match="cells"):
+            t.add("c", 1)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ReproError, match="no column"):
+            self._table().column("z")
+
+    def test_lookup(self):
+        t = self._table()
+        row = t.lookup(name="b")
+        assert row == {"name": "b", "x": 3, "y": 0.125}
+
+    def test_lookup_ambiguous(self):
+        t = Table(title="t", columns=["a"])
+        t.add(1)
+        t.add(1)
+        with pytest.raises(ReproError, match="2 rows"):
+            t.lookup(a=1)
+
+    def test_value(self):
+        assert self._table().value("y", name="a") == 2.5
+
+    def test_render_contains_everything(self):
+        t = self._table()
+        t.notes.append("a note")
+        text = t.render()
+        assert "demo" in text
+        assert "name" in text and "x |" in text
+        assert "2.5" in text
+        assert "a note" in text
+
+    def test_render_empty(self):
+        t = Table(title="empty", columns=["a", "b"])
+        assert "empty" in t.render()
+
+
+class TestFormatting:
+    def test_format_cell_float(self):
+        assert format_cell(2.5) == "2.5"
+        assert "e" in format_cell(1.23e-9)
+        assert format_cell(0.0) == "0"
+
+    def test_format_cell_passthrough(self):
+        assert format_cell("x") == "x"
+        assert format_cell(42) == "42"
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(1.5) == "1.5 s"
+        assert format_seconds(2.5e-3) == "2.5 ms"
+        assert format_seconds(3.2e-6) == "3.2 us"
+        assert format_seconds(5e-9) == "5 ns"
+        assert format_seconds(0.0) == "0 s"
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"

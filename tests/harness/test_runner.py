@@ -1,0 +1,118 @@
+"""Measurement runner: PreparedApp, PairResult, and the figure functions
+at miniature sizes (the real sizes run in benchmarks/)."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.errors import ReproError
+from repro.harness.figures import (
+    ablation_network,
+    ablation_nodeloop,
+    ablation_scaling,
+    ablation_tile_size,
+    ablation_workloads,
+    figure1,
+)
+from repro.harness.runner import PreparedApp, measure, run_pair
+from repro.runtime.network import IDEAL, MPICH_GM
+
+
+@pytest.fixture(scope="module")
+def small_app():
+    return build_app("fft", n=8, nranks=4, steps=1, stages=2)
+
+
+class TestMeasure:
+    def test_measure_fields(self, small_app):
+        m = measure(small_app.source, 4, MPICH_GM, label="x")
+        assert m.time > 0
+        assert m.compute_time > 0
+        assert m.messages == 4 * 3  # one alltoall: NP*(NP-1)
+        assert m.bytes_sent == 4 * 3 * 16 * 8  # part=16 elems of 8 B
+        assert m.network == "mpich-gm"
+        assert m.comm_cost == m.wait_time + m.mpi_overhead
+
+
+class TestPreparedApp:
+    def test_reusable_across_networks(self, small_app):
+        prepared = PreparedApp(small_app, tile_size=4)
+        a = prepared.run_on(MPICH_GM)
+        b = prepared.run_on(IDEAL)
+        assert a.network == "mpich-gm"
+        assert b.network == "ideal"
+        assert a.prepush.bytes_sent == b.prepush.bytes_sent
+
+    def test_verify_on_construction(self, small_app):
+        prepared = PreparedApp(small_app, tile_size=4, verify=True)
+        assert prepared.equivalent
+
+    def test_untransformable_app_raises(self):
+        app = build_app("fft", n=8, nranks=4, steps=1, stages=2)
+        # tile size 100 > trip count: nothing transformable
+        with pytest.raises(ReproError, match="not transformed"):
+            PreparedApp(app, tile_size=100)
+
+    def test_pair_result_properties(self, small_app):
+        pair = run_pair(small_app, MPICH_GM, tile_size=4)
+        assert pair.speedup == pair.original.time / pair.prepush.time
+        assert -5.0 < pair.overhead_reduction <= 1.0
+
+
+class TestFigureFunctionsMiniature:
+    """Shape of the table machinery, not of the results (sizes are tiny)."""
+
+    def test_figure1_rows(self):
+        t = figure1(n=8, nranks=4, stages=2, verify=False)
+        assert t.columns[0] == "stack"
+        assert len(t.rows) == 4
+        stacks = set(t.column("stack"))
+        assert stacks == {"mpich", "mpich-gm"}
+        # normalization: exactly one row is 1.0 and it is the minimum
+        norms = [float(v) for v in t.column("normalized")]
+        assert min(norms) == pytest.approx(1.0)
+
+    def test_ablation_tile_size_rows(self):
+        t = ablation_tile_size(
+            ks=[1, 2, 4], n=8, nranks=4, steps=1, stages=2, verify=False
+        )
+        assert t.column("K") == [1, 2, 4]
+        assert all(v > 0 for v in t.column("time_s"))
+        # tiles column consistent with K
+        assert t.value("tiles", K=1) == 8
+        assert t.value("tiles", K=4) == 2
+
+    def test_ablation_scaling_rows(self):
+        t = ablation_scaling(
+            nranks_list=(2, 4), n=8, steps=1, stages=2, verify=False
+        )
+        assert t.column("NP") == [2, 4]
+
+    def test_ablation_network_rows(self):
+        t = ablation_network(n=8, nranks=4, steps=1, stages=2, verify=False)
+        nets = t.column("network")
+        assert "gm" in nets and "mpich" in nets and "gm-no-offload" in nets
+        assert t.value("offload", network="gm") == "yes"
+        assert t.value("offload", network="gm-no-offload") == "no"
+
+    def test_ablation_workloads_rows(self):
+        t = ablation_workloads(
+            nranks=4,
+            sizes=dict(figure2=32, indirect=8, fft=8, sort=8, stencil=8, lu=8),
+            verify=False,
+        )
+        assert len(t.rows) == 6
+        patterns = set(t.column("pattern"))
+        assert patterns == {"direct", "indirect"}
+        schemes = set(t.column("scheme"))
+        assert {"A", "B", "slab"} <= schemes
+
+    def test_ablation_nodeloop_rows(self):
+        t = ablation_nodeloop(n=8, nranks=4, steps=1, stages=2, verify=False)
+        variants = t.column("variant")
+        assert variants == [
+            "original",
+            "prepush+interchange",
+            "prepush-congested",
+        ]
+        assert t.value("scheme", variant="prepush+interchange") == "A"
+        assert t.value("scheme", variant="prepush-congested") == "B"

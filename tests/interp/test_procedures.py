@@ -1,0 +1,79 @@
+"""External procedures and the make_producer factory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError
+from repro.interp.procedures import (
+    ExternalCall,
+    ExternalProc,
+    ExternalRegistry,
+    make_producer,
+)
+from repro.interp.values import FArray
+
+
+class TestRegistry:
+    def test_register_lookup(self):
+        p = ExternalProc("f", lambda call: None)
+        reg = ExternalRegistry([p])
+        assert reg.lookup("f") is p
+        assert reg.lookup("g") is None
+        assert reg.names() == ["f"]
+
+    def test_oracle_answers(self):
+        reg = ExternalRegistry(
+            [
+                ExternalProc("f", lambda c: None, mutates={1}),
+                ExternalProc("g", lambda c: None, mutates={0, 2}),
+            ]
+        )
+        assert reg.oracle_answers() == {"f": {1}, "g": {0, 2}}
+
+
+class TestExternalCall:
+    def test_scalar_and_array_accessors(self):
+        arr = FArray.allocate("integer", [(1, 4)])
+        call = ExternalCall(name="f", args=[7, arr], rank=0, size=2)
+        assert call.scalar(0) == 7
+        assert call.array(1) is arr
+
+    def test_type_confusion_raises(self):
+        arr = FArray.allocate("integer", [(1, 4)])
+        call = ExternalCall(name="f", args=[7, arr], rank=0, size=2)
+        with pytest.raises(InterpError):
+            call.scalar(1)
+        with pytest.raises(InterpError):
+            call.array(0)
+
+
+class TestMakeProducer:
+    def _producer(self, slab=None):
+        def fill(step, rank, size, flat):
+            flat[:] = step * 100 + rank
+
+        return make_producer(
+            "gen", fill, work_per_element=10e-9, slab_size=slab
+        )
+
+    def test_fills_whole_buffer_without_slab_limit(self):
+        proc = self._producer()
+        arr = FArray.allocate("integer", [(1, 6)])
+        cost = proc.fn(ExternalCall("gen", [3, arr], rank=2, size=4))
+        assert list(arr.flat()) == [302] * 6
+        assert cost == pytest.approx(60e-9)
+
+    def test_slab_size_bounds_writes(self):
+        """After the transformation expands At, the producer receives a
+        sequence-association window larger than one slab; slab_size keeps
+        it from stomping the other slots."""
+        proc = self._producer(slab=4)
+        arr = FArray.allocate("integer", [(1, 10)])
+        cost = proc.fn(ExternalCall("gen", [1, arr], rank=0, size=2))
+        flat = list(arr.flat())
+        assert flat[:4] == [100] * 4
+        assert flat[4:] == [0] * 6
+        assert cost == pytest.approx(40e-9)
+
+    def test_declares_mutation(self):
+        assert self._producer().mutates == {1}

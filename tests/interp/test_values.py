@@ -1,0 +1,152 @@
+"""FArray: Fortran array semantics over numpy storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InterpError
+from repro.interp.values import FArray
+
+
+class TestAllocate:
+    def test_basic(self):
+        a = FArray.allocate("integer", [(1, 4), (1, 3)])
+        assert a.shape == (4, 3)
+        assert a.lbounds == (1, 1)
+        assert a.data.dtype == np.int64
+        assert a.data.flags["F_CONTIGUOUS"]
+
+    def test_real(self):
+        a = FArray.allocate("real", [(1, 2)])
+        assert a.data.dtype == np.float64
+
+    def test_custom_lower_bounds(self):
+        a = FArray.allocate("integer", [(0, 3), (-2, 2)])
+        assert a.shape == (4, 5)
+        assert a.lbounds == (0, -2)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(InterpError):
+            FArray.allocate("integer", [(5, 4)])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InterpError):
+            FArray.allocate("complex", [(1, 2)])
+
+
+class TestIndexing:
+    def test_get_set_roundtrip(self):
+        a = FArray.allocate("integer", [(1, 3), (1, 3)])
+        a.set([2, 3], 42)
+        assert a.get([2, 3]) == 42
+
+    def test_lower_bound_offset(self):
+        a = FArray.allocate("integer", [(0, 2)])
+        a.set([0], 7)
+        assert a.data[0] == 7
+
+    def test_bounds_checked(self):
+        a = FArray.allocate("integer", [(1, 3)])
+        with pytest.raises(InterpError, match="out of bounds"):
+            a.get([4])
+        with pytest.raises(InterpError, match="out of bounds"):
+            a.get([0])
+
+    def test_rank_checked(self):
+        a = FArray.allocate("integer", [(1, 3)])
+        with pytest.raises(InterpError, match="rank mismatch"):
+            a.get([1, 1])
+
+
+class TestColumnMajorOrder:
+    def test_flat_is_fortran_order(self):
+        a = FArray.allocate("integer", [(1, 2), (1, 2)])
+        a.set([1, 1], 11)
+        a.set([2, 1], 21)
+        a.set([1, 2], 12)
+        a.set([2, 2], 22)
+        assert list(a.flat()) == [11, 21, 12, 22]
+
+    def test_flat_offset(self):
+        a = FArray.allocate("integer", [(1, 3), (1, 4)])
+        # column-major: offset(i, j) = (i-1) + 3*(j-1)
+        assert a.flat_offset([1, 1]) == 0
+        assert a.flat_offset([3, 1]) == 2
+        assert a.flat_offset([1, 2]) == 3
+        assert a.flat_offset([2, 4]) == 10
+
+    @given(
+        i=st.integers(1, 3),
+        j=st.integers(1, 4),
+        k=st.integers(1, 2),
+    )
+    def test_flat_offset_matches_flat_view(self, i, j, k):
+        a = FArray.allocate("integer", [(1, 3), (1, 4), (1, 2)])
+        a.set([i, j, k], 999)
+        assert a.flat()[a.flat_offset([i, j, k])] == 999
+        a.set([i, j, k], 0)
+
+
+class TestSections:
+    def test_contiguous_column(self):
+        a = FArray.allocate("integer", [(1, 4), (1, 4)])
+        a.set([2, 3], 5)
+        sec = a.section([(1, 4), 3])
+        assert sec.shape == (4,)
+        assert sec[1] == 5
+
+    def test_section_is_view(self):
+        a = FArray.allocate("integer", [(1, 4)])
+        sec = a.section([(2, 3)])
+        sec[0] = 77
+        assert a.get([2]) == 77
+
+    def test_section_bounds_checked(self):
+        a = FArray.allocate("integer", [(1, 4)])
+        with pytest.raises(InterpError):
+            a.section([(0, 2)])
+        with pytest.raises(InterpError):
+            a.section([(3, 5)])
+
+    def test_empty_section_allowed(self):
+        a = FArray.allocate("integer", [(1, 4)])
+        assert a.section([(3, 2)]).size == 0
+
+
+class TestSequenceAssociation:
+    def test_view_from_window(self):
+        a = FArray.allocate("integer", [(1, 10)])
+        for i in range(1, 11):
+            a.set([i], i)
+        w = a.view_from(4, [(1, 3)], "integer")
+        assert list(w.flat()) == [5, 6, 7]
+        w.set([1], 99)
+        assert a.get([5]) == 99  # shares storage
+
+    def test_view_from_reshapes(self):
+        a = FArray.allocate("integer", [(1, 12)])
+        w = a.view_from(0, [(1, 3), (1, 4)], "integer")
+        assert w.shape == (3, 4)
+        w.set([2, 1], 5)
+        assert a.get([2]) == 5  # column-major: (2,1) -> flat 1
+
+    def test_view_from_overrun_rejected(self):
+        a = FArray.allocate("integer", [(1, 4)])
+        with pytest.raises(InterpError, match="sequence association"):
+            a.view_from(2, [(1, 4)], "integer")
+
+
+def test_copy_is_independent():
+    a = FArray.allocate("integer", [(1, 3)])
+    b = a.copy()
+    b.set([1], 5)
+    assert a.get([1]) == 0
+
+
+def test_equality():
+    a = FArray.allocate("integer", [(1, 2)])
+    b = FArray.allocate("integer", [(1, 2)])
+    assert a == b
+    b.set([1], 1)
+    assert a != b

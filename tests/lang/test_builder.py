@@ -1,0 +1,90 @@
+"""AST builder helpers: folding rules the code generators rely on."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ast_nodes import BinOp, IntLit, UnaryOp, VarRef
+from repro.lang.unparser import unparse
+
+
+class TestLift:
+    def test_int(self):
+        assert b.lift(3) == IntLit(value=3)
+
+    def test_negative_int_is_unary(self):
+        e = b.lift(-3)
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_name(self):
+        assert b.lift("x") == VarRef(name="x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            b.lift(True)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            b.lift(object())
+
+
+class TestFolding:
+    def test_add_zero(self):
+        assert unparse(b.add("x", 0)) == "x"
+        assert unparse(b.add(0, "x")) == "x"
+
+    def test_add_constants(self):
+        assert unparse(b.add(2, 3)) == "5"
+
+    def test_add_negative_becomes_sub(self):
+        """Generated code reads `ix - 3`, never `ix + -3`."""
+        assert unparse(b.add("ix", -3)) == "ix - 3"
+
+    def test_sub_zero(self):
+        assert unparse(b.sub("x", 0)) == "x"
+
+    def test_sub_constants_can_go_negative(self):
+        e = b.sub(2, 5)
+        assert unparse(e) == "-3"
+
+    def test_mul_identities(self):
+        assert unparse(b.mul("x", 1)) == "x"
+        assert unparse(b.mul(1, "x")) == "x"
+        assert unparse(b.mul("x", 0)) == "0"
+        assert unparse(b.mul(3, 4)) == "12"
+
+    def test_div_identities(self):
+        assert unparse(b.div("x", 1)) == "x"
+        assert unparse(b.div(12, 4)) == "3"
+        # non-exact constant division is NOT folded (Fortran truncation is
+        # the interpreter's job, not the builder's)
+        assert unparse(b.div(7, 2)) == "7 / 2"
+
+
+class TestStatements:
+    def test_do_loop(self):
+        loop = b.do("i", 1, 10, [b.assign(b.var("x"), "i")])
+        assert unparse(loop) == "do i = 1, 10\n  x = i\nenddo\n"
+
+    def test_if(self):
+        stmt = b.if_(b.eq("x", 1), [b.call("f", 2)], [b.call("g")])
+        text = unparse(stmt)
+        assert "if (x == 1) then" in text
+        assert "else" in text
+
+    def test_array_decl(self):
+        d = b.array_decl("integer", "a", 4, (0, 7))
+        assert unparse(d) == "integer :: a(4, 0:7)\n"
+
+    def test_comparisons(self):
+        for fn, op in [
+            (b.eq, "=="),
+            (b.ne, "/="),
+            (b.lt, "<"),
+            (b.le, "<="),
+            (b.gt, ">"),
+            (b.ge, ">="),
+        ]:
+            assert unparse(fn("a", "b")) == f"a {op} b"
+
+    def test_mod_is_funcall(self):
+        assert unparse(b.mod("x", 4)) == "mod(x, 4)"

@@ -1,0 +1,183 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src) if t.kind is not TokenKind.NEWLINE][:-1]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind is not TokenKind.NEWLINE][:-1]
+
+
+class TestBasicTokens:
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT
+        assert toks[0].text == "42"
+
+    def test_real_literal(self):
+        toks = tokenize("3.5")
+        assert toks[0].kind is TokenKind.REAL
+
+    def test_real_with_exponent(self):
+        assert tokenize("1e-3")[0].kind is TokenKind.REAL
+        assert tokenize("2.5e10")[0].kind is TokenKind.REAL
+
+    def test_d_exponent_normalized(self):
+        tok = tokenize("2.5d0")[0]
+        assert tok.kind is TokenKind.REAL
+        assert "e" in tok.text
+
+    def test_identifier_case_folded(self):
+        tok = tokenize("MyVar")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "myvar"
+
+    def test_keyword_case_insensitive(self):
+        tok = tokenize("PROGRAM")[0]
+        assert tok.kind is TokenKind.KEYWORD
+        assert tok.text == "program"
+
+    def test_string_single_quote(self):
+        tok = tokenize("'hello'")[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.text == "hello"
+
+    def test_string_doubled_quote_escape(self):
+        tok = tokenize("'it''s'")[0]
+        assert tok.text == "it's"
+
+    def test_string_double_quotes(self):
+        tok = tokenize('"abc"')[0]
+        assert tok.text == "abc"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "src,kind",
+        [
+            ("**", TokenKind.POWER),
+            ("==", TokenKind.EQ),
+            ("/=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("::", TokenKind.DCOLON),
+            (":", TokenKind.COLON),
+        ],
+    )
+    def test_operator(self, src, kind):
+        assert tokenize(src)[0].kind is kind
+
+    @pytest.mark.parametrize(
+        "src,kind",
+        [
+            (".and.", TokenKind.AND),
+            (".or.", TokenKind.OR),
+            (".not.", TokenKind.NOT),
+            (".true.", TokenKind.TRUE),
+            (".false.", TokenKind.FALSE),
+            (".AND.", TokenKind.AND),
+        ],
+    )
+    def test_dotted(self, src, kind):
+        assert tokenize(src)[0].kind is kind
+
+    def test_dotted_relational_aliases(self):
+        assert tokenize(".eq.")[0].kind is TokenKind.EQ
+        assert tokenize(".le.")[0].kind is TokenKind.LE
+
+    def test_unknown_dotted_raises(self):
+        with pytest.raises(LexError):
+            tokenize(".xyz.")
+
+    def test_star_vs_power(self):
+        toks = tokenize("a * b ** c")
+        ops = [t.kind for t in toks if t.kind in (TokenKind.STAR, TokenKind.POWER)]
+        assert ops == [TokenKind.STAR, TokenKind.POWER]
+
+
+class TestStructure:
+    def test_comment_stripped(self):
+        assert texts("a ! comment here") == ["a"]
+
+    def test_continuation(self):
+        toks = texts("a + &\n b")
+        assert toks == ["a", "+", "b"]
+
+    def test_semicolon_is_newline(self):
+        toks = tokenize("a = 1; b = 2")
+        assert any(t.kind is TokenKind.NEWLINE and t.text == ";" for t in toks)
+
+    def test_newline_collapse(self):
+        toks = tokenize("a\n\n\n\nb")
+        newlines = [t for t in toks if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 2  # one between, one trailing
+
+    def test_leading_newlines_dropped(self):
+        assert tokenize("\n\n\na")[0].kind is TokenKind.IDENT
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        idents = [t for t in toks if t.kind is TokenKind.IDENT]
+        assert [t.line for t in idents] == [1, 2, 3]
+
+    def test_eof_terminated(self):
+        assert tokenize("x")[-1].kind is TokenKind.EOF
+
+
+class TestFusedKeywords:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("end do", "enddo"),
+            ("end if", "endif"),
+            ("else if", "elseif"),
+            ("end program", "endprogram"),
+            ("end subroutine", "endsubroutine"),
+            ("enddo", "enddo"),
+        ],
+    )
+    def test_fusion(self, src, expected):
+        tok = tokenize(src)[0]
+        assert tok.kind is TokenKind.KEYWORD
+        assert tok.text == expected
+
+    def test_end_alone_not_fused(self):
+        assert tokenize("end")[0].text == "end"
+
+
+class TestErrors:
+    def test_unexpected_char(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_error_has_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x\n  @")
+        assert exc.value.line == 2
+
+
+class TestNumericEdgeCases:
+    def test_real_trailing_dot(self):
+        assert tokenize("1.")[0].kind is TokenKind.REAL
+
+    def test_int_then_dotted_op(self):
+        # `1.and.` must lex as INT, AND — the dot belongs to the operator
+        toks = tokenize("1 .and. 2")
+        assert [t.kind for t in toks[:3]] == [
+            TokenKind.INT,
+            TokenKind.AND,
+            TokenKind.INT,
+        ]

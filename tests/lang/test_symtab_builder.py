@@ -1,0 +1,104 @@
+"""Symbol table and AST builder tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.lang import build_symtab, parse, unparse
+from repro.lang import builder as b
+from repro.lang.ast_nodes import BinOp, IntLit, UnaryOp, VarRef
+from repro.lang.unparser import unparse_expr
+
+
+class TestSymbolTable:
+    def _table(self, src):
+        return build_symtab(parse(src).units[0])
+
+    def test_scalar_and_array(self):
+        t = self._table("program p\ninteger :: x, a(5)\nend")
+        assert not t.require("x").is_array
+        assert t.require("a").is_array
+        assert t.require("a").rank == 1
+
+    def test_parameter(self):
+        t = self._table("program p\ninteger, parameter :: n = 4\nend")
+        sym = t.require("n")
+        assert sym.is_parameter
+        assert sym.init.value == 4
+
+    def test_dummy_args_marked(self):
+        t = self._table("subroutine s(a, n)\ninteger :: a(n), n\nend")
+        assert t.require("a").is_dummy
+        assert t.require("n").is_dummy
+
+    def test_undeclared_dummy_gets_default(self):
+        t = self._table("subroutine s(k)\nend")
+        assert t.require("k").base_type == "integer"
+
+    def test_externals(self):
+        t = self._table("program p\nexternal foo\nend")
+        assert "foo" in t.externals
+
+    def test_duplicate_decl_rejected(self):
+        with pytest.raises(AnalysisError):
+            self._table("program p\ninteger :: x\ninteger :: x\nend")
+
+    def test_require_missing(self):
+        t = self._table("program p\nend")
+        with pytest.raises(AnalysisError):
+            t.require("ghost")
+
+    def test_arrays_listing(self):
+        t = self._table("program p\ninteger :: a(2), b, c(3)\nend")
+        assert sorted(s.name for s in t.arrays()) == ["a", "c"]
+
+
+class TestBuilder:
+    def test_lift_int(self):
+        assert isinstance(b.lift(3), IntLit)
+
+    def test_lift_negative_int(self):
+        e = b.lift(-2)
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_lift_name(self):
+        assert isinstance(b.lift("x"), VarRef)
+
+    def test_add_folds_zero(self):
+        assert b.add("x", 0) == VarRef(name="x")
+        assert b.add(2, 3) == IntLit(value=5)
+
+    def test_mul_folds(self):
+        assert b.mul(1, "x") == VarRef(name="x")
+        assert b.mul(0, "x") == IntLit(value=0)
+        assert b.mul(2, 3) == IntLit(value=6)
+
+    def test_sub_folds(self):
+        assert b.sub("x", 0) == VarRef(name="x")
+        assert b.sub(5, 2) == IntLit(value=3)
+
+    def test_div_exact_folds(self):
+        assert b.div(6, 3) == IntLit(value=2)
+        assert isinstance(b.div("x", 2), BinOp)
+
+    def test_builder_output_parses(self):
+        loop = b.do(
+            "j",
+            1,
+            b.sub("np", 1),
+            [
+                b.assign(b.var("to"), b.mod(b.add("me", "j"), "np")),
+                b.call("mpi_isend", b.aref("as", b.slice_(1, "k")), "k", "to", 0, "ierr"),
+            ],
+        )
+        text = unparse(loop)
+        assert "do j = 1, np - 1" in text
+        assert "mpi_isend(as(1:k), k, to, 0, ierr)" in text
+
+    def test_array_decl(self):
+        d = b.array_decl("integer", "buf", 10, (0, 9))
+        text = unparse(d)
+        assert "buf(10, 0:9)" in text
+
+    def test_comparison_builders(self):
+        assert unparse_expr(b.le("i", "n")) == "i <= n"
+        assert unparse_expr(b.ne("i", 0)) == "i /= 0"

@@ -1,0 +1,166 @@
+"""Unparser tests, including the parse∘unparse round-trip invariant
+(property-based over randomly generated expressions and statements)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse, parse_expr, parse_stmt, unparse
+from repro.lang.unparser import unparse_expr
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("a + b * c", "a + b * c"),
+            ("(a + b) * c", "(a + b) * c"),
+            ("a - (b - c)", "a - (b - c)"),
+            ("a - b - c", "a - b - c"),
+            ("-a ** 2", "-a**2"),
+            ("(-a) ** 2", "(-a)**2"),
+            ("a ** b ** c", "a**b**c"),
+            ("(a ** b) ** c", "(a**b)**c"),
+            (".not. (a .and. b)", ".not. (a .and. b)"),
+            ("mod(i + 1, 4)", "mod(i + 1, 4)"),
+            ("a(1:k, :)", "a(1:k, :)"),
+            ("x / y / z", "x / y / z"),
+            ("x / (y / z)", "x / (y / z)"),
+        ],
+    )
+    def test_canonical_forms(self, src, expected):
+        assert unparse_expr(parse_expr(src)) == expected
+
+    def test_string_quotes_escaped(self):
+        e = parse_expr("'it''s'")
+        assert unparse_expr(e) == "'it''s'"
+
+    def test_real_literal(self):
+        assert unparse_expr(parse_expr("2.5")) == "2.5"
+
+    def test_bool_literals(self):
+        assert unparse_expr(parse_expr(".true.")) == ".true."
+
+
+class TestStatementPrinting:
+    def test_do_loop_layout(self):
+        s = parse_stmt("do i = 1, n\na(i) = 0\nenddo")
+        assert unparse(s) == "do i = 1, n\n  a(i) = 0\nenddo\n"
+
+    def test_if_chain_layout(self):
+        s = parse_stmt("if (a > 1) then\nx = 1\nelse\nx = 2\nendif")
+        out = unparse(s)
+        assert "if (a > 1) then" in out
+        assert "else" in out
+        assert out.endswith("endif\n")
+
+    def test_decl_layout(self):
+        t = parse("program p\ninteger, parameter :: n = 8\nend")
+        assert "integer, parameter :: n = 8" in unparse(t)
+
+    def test_array_decl_omits_unit_lower_bound(self):
+        t = parse("program p\ninteger :: a(1:10), b(0:9)\nend")
+        out = unparse(t)
+        assert "a(10)" in out
+        assert "b(0:9)" in out
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property: parse(unparse(tree)) == tree
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "ix", "iy", "n"])
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 99)))
+        return draw(_names)
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return str(draw(st.integers(0, 99)))
+    if choice == 1:
+        return draw(_names)
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "**"]))
+        left = draw(exprs(depth=depth - 1))
+        right = draw(exprs(depth=depth - 1))
+        return f"({left} {op} {right})"
+    if choice == 3:
+        inner = draw(exprs(depth=depth - 1))
+        return f"(-({inner}))"
+    if choice == 4:
+        name = draw(_names)
+        sub = draw(exprs(depth=depth - 1))
+        return f"{name}({sub})"
+    if choice == 5:
+        a = draw(exprs(depth=depth - 1))
+        b = draw(exprs(depth=depth - 1))
+        return f"mod({a}, {b})"
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "/="]))
+    left = draw(exprs(depth=depth - 1))
+    right = draw(exprs(depth=depth - 1))
+    return f"({left} {op} {right})"
+
+
+class TestRoundTrip:
+    @given(exprs())
+    @settings(max_examples=200, deadline=None)
+    def test_expression_round_trip(self, src):
+        tree = parse_expr(src)
+        assert parse_expr(unparse_expr(tree)) == tree
+
+    @given(exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_is_fixed_point(self, src):
+        once = unparse_expr(parse_expr(src))
+        twice = unparse_expr(parse_expr(once))
+        assert once == twice
+
+    def test_program_round_trip(self):
+        src = """
+program main
+  implicit none
+  integer, parameter :: nx = 16, np = 4
+  integer :: as(nx), ar(0:nx - 1), b(nx, 2 * np)
+  real :: t
+  integer :: ix, iy, ierr
+  external helper
+
+  t = 0.5
+  do iy = 1, nx
+    do ix = 1, nx, 1
+      as(ix) = ix * iy + mod(ix, 3)
+    enddo
+    if (iy > 2 .and. as(1) /= 0) then
+      call helper(as, t)
+    elseif (iy == 1) then
+      as(1) = -1
+    else
+      continue
+    endif
+    call mpi_alltoall(as, nx / np, 1, ar, nx / np, 1, 0, ierr)
+  enddo
+  do while (t < 1.0)
+    t = t + 0.25
+  enddo
+  print *, as(1), 'done'
+end program main
+
+subroutine helper(v, s)
+  integer :: v(16)
+  real :: s
+  v(1) = int(s)
+  return
+end subroutine helper
+"""
+        tree = parse(src)
+        assert parse(unparse(tree)) == tree
+
+    def test_round_trip_idempotent_on_program(self):
+        src = "program p\ninteger :: a(4)\na(1) = 2\nend"
+        once = unparse(parse(src))
+        assert unparse(parse(once)) == once

@@ -1,0 +1,96 @@
+"""Canonical mini-Fortran test programs shared across test modules."""
+
+from __future__ import annotations
+
+
+def direct_1d(n: int = 64, nprocs: int = 8, steps: int = 2) -> str:
+    """The paper's Figure 2(a) shape: 1-D direct pattern, alltoall inside
+    the outer time-step loop."""
+    return f"""
+program figure2
+  integer, parameter :: nx = {n}, np = {nprocs}, nt = {steps}
+  integer :: as(1:nx)
+  integer :: ar(1:nx)
+  integer :: iy, ix, ierr
+
+  do iy = 1, nt
+    do ix = 1, nx
+      as(ix) = ix * 3 + iy * 100 + mynode() * 7
+    enddo
+    call mpi_alltoall(as, nx / np, 0, ar, nx / np, 0, 0, ierr)
+  enddo
+end program figure2
+"""
+
+
+def direct_2d(n: int = 16, nprocs: int = 4) -> str:
+    """2-D direct pattern, node loop innermost (scheme A), C at top level."""
+    return f"""
+program twod
+  integer, parameter :: n = {n}, np = {nprocs}
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: ix, iy, ierr
+
+  do ix = 1, n
+    do iy = 1, n
+      as(ix, iy) = ix * 1000 + iy + mynode()
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+end program twod
+"""
+
+
+def nodeloop_outer(n: int = 16, nprocs: int = 4) -> str:
+    """Node loop outermost: interchange candidate (§3.5)."""
+    return f"""
+program nodeouter
+  integer, parameter :: n = {n}, np = {nprocs}
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: ix, iy, ierr
+
+  do iy = 1, n
+    do ix = 1, n
+      as(ix, iy) = ix * 1000 + iy + mynode()
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+end program nodeouter
+"""
+
+
+def indirect_3d(n: int = 8, nprocs: int = 4) -> str:
+    """Figure 3(a) shape: producer + coordinate-decomposed copy loop."""
+    return f"""
+program indirectk
+  integer, parameter :: n = {n}, np = {nprocs}
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program indirectk
+
+subroutine producer(step, buf)
+  integer :: step
+  integer :: buf(1:{n * n})
+  integer :: i
+
+  do i = 1, {n * n}
+    buf(i) = mod(i * 13 + step * 7 + mynode() * 31, 1024)
+  enddo
+end subroutine producer
+"""
+
+

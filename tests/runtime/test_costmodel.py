@@ -1,0 +1,32 @@
+"""Compute cost model scaling."""
+
+import pytest
+
+from repro.runtime.costmodel import DEFAULT_COST_MODEL, ELEMENT_BYTES, CostModel
+
+
+def test_element_bytes():
+    assert ELEMENT_BYTES == 8
+
+
+def test_default_positive():
+    m = DEFAULT_COST_MODEL
+    for field in ("stmt_overhead", "int_op", "real_op", "mem_access",
+                  "intrinsic", "call_overhead"):
+        assert getattr(m, field) > 0
+
+
+def test_scaled_multiplies_compute_costs():
+    m = CostModel().scaled(3.0)
+    base = CostModel()
+    assert m.int_op == pytest.approx(base.int_op * 3)
+    assert m.real_op == pytest.approx(base.real_op * 3)
+    assert m.call_overhead == pytest.approx(base.call_overhead * 3)
+
+
+def test_scaled_preserves_flush_threshold():
+    assert CostModel().scaled(10.0).flush_threshold == CostModel().flush_threshold
+
+
+def test_scaled_identity():
+    assert CostModel().scaled(1.0) == CostModel()

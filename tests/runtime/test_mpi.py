@@ -1,0 +1,159 @@
+"""SimComm: the simulated MPI layer (alltoall semantics, handle tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.mpi import SimComm
+from repro.runtime.network import IDEAL, MPICH_GM
+from repro.runtime.simulator import simulate
+
+
+def test_invalid_rank_rejected():
+    with pytest.raises(SimulationError):
+        SimComm(4, 4)
+    with pytest.raises(SimulationError):
+        SimComm(-1, 4)
+
+
+def test_rank_size_properties():
+    c = SimComm(2, 8)
+    assert c.rank == 2
+    assert c.size == 8
+
+
+def _alltoall_once(nranks: int, part: int):
+    """Run one alltoall; returns per-rank receive buffers."""
+    sends = [
+        np.arange(nranks * part, dtype=np.int64) + 1000 * r
+        for r in range(nranks)
+    ]
+    recvs = [np.zeros(nranks * part, dtype=np.int64) for _ in range(nranks)]
+
+    def program(rank):
+        comm = SimComm(rank, nranks)
+        yield from comm.alltoall(sends[rank], recvs[rank])
+
+    simulate([program(r) for r in range(nranks)], MPICH_GM)
+    return sends, recvs
+
+
+@pytest.mark.parametrize("nranks,part", [(2, 3), (4, 2), (8, 5)])
+def test_alltoall_permutation_semantics(nranks, part):
+    """Partition j of rank r's sendbuf lands in partition r of rank j's
+    recvbuf — the MPI_ALLTOALL contract."""
+    sends, recvs = _alltoall_once(nranks, part)
+    for r in range(nranks):
+        for j in range(nranks):
+            expected = sends[r][j * part : (j + 1) * part]
+            got = recvs[j][r * part : (r + 1) * part]
+            assert np.array_equal(got, expected), (r, j)
+
+
+def test_alltoall_self_partition_copied():
+    sends, recvs = _alltoall_once(4, 3)
+    for r in range(4):
+        assert np.array_equal(
+            recvs[r][r * 3 : (r + 1) * 3], sends[r][r * 3 : (r + 1) * 3]
+        )
+
+
+def test_alltoall_rejects_indivisible():
+    def program():
+        comm = SimComm(0, 2)
+        yield from comm.alltoall(
+            np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64)
+        )
+
+    with pytest.raises(SimulationError, match="not divisible"):
+        simulate([program()], IDEAL)
+
+
+def test_alltoall_rejects_mismatched_sizes():
+    def program():
+        comm = SimComm(0, 2)
+        yield from comm.alltoall(
+            np.zeros(4, dtype=np.int64), np.zeros(8, dtype=np.int64)
+        )
+
+    with pytest.raises(SimulationError, match="differ"):
+        simulate([program()], IDEAL)
+
+
+def test_handle_bookkeeping():
+    """waitall_sends / waitall_recvs wait only their own class of handles."""
+    trace = {}
+
+    def rank0():
+        comm = SimComm(0, 2)
+        yield from comm.isend(np.ones(1, dtype=np.int64), dest=1, tag=0)
+        assert comm.outstanding_sends == 1
+        yield from comm.waitall_sends()
+        trace["sends_after"] = comm.outstanding_sends
+        yield from comm.isend(np.ones(1, dtype=np.int64), dest=1, tag=1)
+        yield from comm.waitall()
+        trace["all_after"] = comm.outstanding_sends + comm.outstanding_recvs
+
+    def rank1():
+        comm = SimComm(1, 2)
+        b0 = np.zeros(1, dtype=np.int64)
+        b1 = np.zeros(1, dtype=np.int64)
+        yield from comm.irecv(b0, source=0, tag=0)
+        yield from comm.irecv(b1, source=0, tag=1)
+        assert comm.outstanding_recvs == 2
+        yield from comm.waitall_recvs()
+        trace["recvs_after"] = comm.outstanding_recvs
+
+    simulate([rank0(), rank1()], MPICH_GM)
+    assert trace == {"sends_after": 0, "all_after": 0, "recvs_after": 0}
+
+
+def test_irecv_callable_requires_nbytes():
+    def program():
+        comm = SimComm(0, 2)
+        yield from comm.irecv(lambda payload: None, source=1, tag=0)
+
+    with pytest.raises(SimulationError, match="nbytes"):
+        simulate([program(), iter([])], IDEAL)
+
+
+def test_compute_helper():
+    def program():
+        comm = SimComm(0, 1)
+        yield from comm.compute(2.5)
+
+    res = simulate([program()], IDEAL)
+    assert res.time == pytest.approx(2.5)
+
+
+def test_alltoall_message_count():
+    """Pairwise implementation: NP-1 sends per rank, nothing to self."""
+    nranks = 4
+    sends = [np.zeros(8, dtype=np.int64) for _ in range(nranks)]
+    recvs = [np.zeros(8, dtype=np.int64) for _ in range(nranks)]
+
+    def program(rank):
+        comm = SimComm(rank, nranks)
+        yield from comm.alltoall(sends[rank], recvs[rank])
+
+    res = simulate([program(r) for r in range(nranks)], MPICH_GM)
+    for s in res.stats:
+        assert s.messages_sent == nranks - 1
+        assert s.messages_received == nranks - 1
+
+
+def test_conservation_of_bytes():
+    nranks = 4
+    part = 16
+    sends = [np.zeros(nranks * part, dtype=np.int64) for _ in range(nranks)]
+    recvs = [np.zeros(nranks * part, dtype=np.int64) for _ in range(nranks)]
+
+    def program(rank):
+        comm = SimComm(rank, nranks)
+        yield from comm.alltoall(sends[rank], recvs[rank])
+
+    res = simulate([program(r) for r in range(nranks)], MPICH_GM)
+    sent = sum(s.bytes_sent for s in res.stats)
+    received = sum(s.bytes_received for s in res.stats)
+    assert sent == received
+    assert sent == nranks * (nranks - 1) * part * 8

@@ -1,0 +1,66 @@
+"""Network model cost functions: host-based vs NIC-offload semantics."""
+
+import pytest
+
+from repro.runtime.network import IDEAL, MPICH_GM, MPICH_P4, PRESETS, NetworkModel
+
+
+class TestPresets:
+    def test_presets_registered(self):
+        assert set(PRESETS) == {"mpich", "mpich-gm", "ideal"}
+        assert PRESETS["mpich-gm"] is MPICH_GM
+
+    def test_gm_offloads(self):
+        assert MPICH_GM.offload
+        assert not MPICH_P4.offload
+
+    def test_gm_is_faster_wire(self):
+        assert MPICH_GM.byte_time < MPICH_P4.byte_time
+        assert MPICH_GM.latency < MPICH_P4.latency
+
+
+class TestSendCpuCost:
+    def test_offload_send_cost_size_independent(self):
+        assert MPICH_GM.send_cpu_cost(8) == MPICH_GM.send_cpu_cost(1 << 20)
+
+    def test_host_send_cost_grows_with_size(self):
+        small = MPICH_P4.send_cpu_cost(8)
+        big = MPICH_P4.send_cpu_cost(1 << 20)
+        assert big > small
+        assert big - small == pytest.approx(
+            ((1 << 20) - 8) * MPICH_P4.host_byte_time
+        )
+
+    def test_ideal_is_free(self):
+        assert IDEAL.send_cpu_cost(1 << 20) == 0.0
+        assert IDEAL.wire_time(1 << 20) == 0.0
+        assert IDEAL.recv_cpu_cost() == 0.0
+
+
+class TestWireAndCopies:
+    def test_wire_time_linear(self):
+        assert MPICH_GM.wire_time(1000) == pytest.approx(
+            1000 * MPICH_GM.byte_time
+        )
+
+    def test_unexpected_copy_cost(self):
+        assert MPICH_GM.unexpected_copy_cost(100) == pytest.approx(
+            100 * MPICH_GM.copy_byte_time
+        )
+
+    def test_local_copy_cost(self):
+        assert MPICH_P4.local_copy_cost(64) == pytest.approx(
+            64 * MPICH_P4.copy_byte_time
+        )
+
+
+class TestWith:
+    def test_with_overrides_field(self):
+        m = MPICH_GM.with_(latency=1e-3)
+        assert m.latency == 1e-3
+        assert m.byte_time == MPICH_GM.byte_time
+        assert MPICH_GM.latency != 1e-3  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MPICH_GM.latency = 0.0  # type: ignore[misc]

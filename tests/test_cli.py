@@ -1,0 +1,72 @@
+"""The compuniformer CLI."""
+
+import pytest
+
+from repro.cli import main
+from tests.programs import direct_1d
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    p = tmp_path / "kernel.f90"
+    p.write_text(direct_1d(n=16, nprocs=4, steps=1))
+    return p
+
+
+class TestTransform:
+    def test_transform_to_stdout(self, kernel_file, capsys):
+        rc = main(["transform", str(kernel_file), "-K", "4", "-q"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mpi_isend" in out
+        assert "mpi_alltoall" not in out
+
+    def test_transform_to_file(self, kernel_file, tmp_path, capsys):
+        out_file = tmp_path / "out.f90"
+        rc = main(
+            ["transform", str(kernel_file), "-K", "4", "-o", str(out_file)]
+        )
+        assert rc == 0
+        assert "mpi_isend" in out_file.read_text()
+        assert "direct pattern" in capsys.readouterr().err
+
+    def test_transform_auto_k(self, kernel_file):
+        assert main(["transform", str(kernel_file), "-q"]) == 0
+
+    def test_untransformable_returns_2(self, tmp_path, capsys):
+        p = tmp_path / "plain.f90"
+        p.write_text("program p\n  integer :: x\n\n  x = 1\nend program p\n")
+        assert main(["transform", str(p), "-q"]) == 2
+
+    def test_parse_error_returns_1(self, tmp_path, capsys):
+        p = tmp_path / "broken.f90"
+        p.write_text("program p\n  do i = \nend program p\n")
+        assert main(["transform", str(p), "-q"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_reports_timing(self, kernel_file, capsys):
+        rc = main(["run", str(kernel_file), "-n", "4", "--network", "mpich-gm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan:" in out
+        assert "messages:" in out
+
+
+class TestVerify:
+    def test_verify_equivalent(self, kernel_file, capsys):
+        rc = main(["verify", str(kernel_file), "-n", "4", "-K", "4"])
+        assert rc == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+
+class TestApps:
+    def test_list(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out and "indirect" in out
+
+    def test_print_source(self, capsys):
+        assert main(["apps", "fft"]) == 0
+        assert "mpi_alltoall" in capsys.readouterr().out

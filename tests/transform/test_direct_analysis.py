@@ -1,0 +1,265 @@
+"""Direct-pattern site analysis: geometry, schemes, rejection diagnostics."""
+
+import pytest
+from tests.programs import direct_1d, direct_2d
+
+from repro.analysis.patterns import find_opportunities
+from repro.errors import TransformError
+from repro.lang import parse
+from repro.transform.direct import analyze_direct
+from repro.transform.layout import resolve_layout
+
+
+def _opportunity(src: str):
+    source = parse(src)
+    result = find_opportunities(source)
+    assert result.opportunities, [r.reason for r in result.rejections]
+    return result.opportunities[0]
+
+
+def _plan(src: str, k: int):
+    opp = _opportunity(src)
+    return analyze_direct(opp, resolve_layout(opp), k)
+
+
+class TestSchemeSelection:
+    def test_1d_is_scheme_b(self):
+        plan = _plan(direct_1d(n=64, nprocs=8), 8)
+        assert plan.scheme == "B"
+        assert plan.tiled_dim == 0
+        assert plan.block_elems == 8 * 1  # K * lead
+
+    def test_2d_node_inner_is_scheme_a(self):
+        plan = _plan(direct_2d(n=16, nprocs=4), 4)
+        assert plan.scheme == "A"
+        assert plan.tiled_dim == 0
+        # per peer per tile: K * other * planes = 4 * 1 * 4
+        assert plan.elems_per_tile_per_partition == 16
+
+    def test_tile_geometry(self):
+        plan = _plan(direct_2d(n=16, nprocs=4), 5)
+        assert plan.ntiles == 3
+        assert plan.leftover == 1
+        assert (plan.tile_lo, plan.tile_hi) == (1, 16)
+
+
+class TestLayout:
+    def test_layout_facts(self):
+        opp = _opportunity(direct_2d(n=16, nprocs=4))
+        layout = resolve_layout(opp)
+        assert layout.dims == ((1, 16), (1, 16))
+        assert layout.nprocs == 4
+        assert layout.part == 64
+        assert layout.planes_per_partition == 4
+        assert layout.lead == 16
+        assert layout.total == 256
+
+    def test_zero_based_bounds(self):
+        src = """
+program zb
+  integer, parameter :: n = 8, np = 4
+  integer :: as(0:n - 1, 0:n - 1)
+  integer :: ar(0:n - 1, 0:n - 1)
+  integer :: i, j, ierr
+
+  do i = 0, n - 1
+    do j = 0, n - 1
+      as(i, j) = i * 10 + j
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+end program zb
+"""
+        opp = _opportunity(src)
+        layout = resolve_layout(opp)
+        assert layout.dims == ((0, 7), (0, 7))
+        assert layout.last_lo == 0
+        plan = analyze_direct(opp, layout, 2)
+        assert plan.scheme == "A"
+        assert plan.tile_lo == 0
+
+    def test_size_mismatch_rejected(self):
+        src = """
+program bad
+  integer, parameter :: n = 16, np = 4
+  integer :: as(1:n)
+  integer :: ar(1:n * 2)
+  integer :: i, ierr
+
+  do i = 1, n
+    as(i) = i
+  enddo
+  call mpi_alltoall(as, n / np, 0, ar, n / np, 0, 0, ierr)
+end program bad
+"""
+        opp = _opportunity(src)
+        with pytest.raises(TransformError, match="differ in size"):
+            resolve_layout(opp)
+
+    def test_count_not_dividing_rejected(self):
+        src = """
+program bad
+  integer, parameter :: n = 16
+  integer :: as(1:n)
+  integer :: ar(1:n)
+  integer :: i, ierr
+
+  do i = 1, n
+    as(i) = i
+  enddo
+  call mpi_alltoall(as, 5, 0, ar, 5, 0, 0, ierr)
+end program bad
+"""
+        opp = _opportunity(src)
+        with pytest.raises(TransformError, match="does not divide"):
+            resolve_layout(opp)
+
+    def test_single_rank_rejected(self):
+        src = """
+program solo
+  integer, parameter :: n = 16
+  integer :: as(1:n)
+  integer :: ar(1:n)
+  integer :: i, ierr
+
+  do i = 1, n
+    as(i) = i
+  enddo
+  call mpi_alltoall(as, n, 0, ar, n, 0, 0, ierr)
+end program solo
+"""
+        opp = _opportunity(src)
+        with pytest.raises(TransformError, match="nothing to transform"):
+            resolve_layout(opp)
+
+
+class TestRejectionDiagnostics:
+    def _expect_error(self, src: str, match: str, k: int = 2):
+        opp = _opportunity(src)
+        layout = resolve_layout(opp)
+        with pytest.raises(TransformError, match=match):
+            analyze_direct(opp, layout, k)
+
+    def test_partial_coverage(self):
+        self._expect_error(
+            """
+program partial
+  integer, parameter :: n = 16, np = 4
+  integer :: as(1:n)
+  integer :: ar(1:n)
+  integer :: i, ierr
+
+  do i = 1, n - 2
+    as(i) = i
+  enddo
+  call mpi_alltoall(as, n / np, 0, ar, n / np, 0, 0, ierr)
+end program partial
+""",
+            match="not.*fully written|spans",
+        )
+
+    def test_strided_write(self):
+        self._expect_error(
+            """
+program strided
+  integer, parameter :: n = 16, np = 4
+  integer :: as(1:n)
+  integer :: ar(1:n)
+  integer :: i, ierr
+
+  do i = 1, n / 2
+    as(2 * i) = i
+  enddo
+  call mpi_alltoall(as, n / np, 0, ar, n / np, 0, 0, ierr)
+end program strided
+""",
+            match="strides by 2",
+        )
+
+    def test_two_writes_rejected(self):
+        self._expect_error(
+            """
+program multi
+  integer, parameter :: n = 16, np = 2
+  integer :: as(1:n, 1:2)
+  integer :: ar(1:n, 1:2)
+  integer :: i, ierr
+
+  do i = 1, n
+    as(i, 1) = i
+    as(i, 2) = -i
+  enddo
+  call mpi_alltoall(as, n * 2 / np, 0, ar, n * 2 / np, 0, 0, ierr)
+end program multi
+""",
+            match="2 write references",
+        )
+
+    def test_coupled_subscript(self):
+        self._expect_error(
+            """
+program coupled
+  integer, parameter :: n = 4, np = 2
+  integer :: as(1:n * n)
+  integer :: ar(1:n * n)
+  integer :: i, j, ierr
+
+  do i = 1, n
+    do j = 1, n
+      as((i - 1) * n + j) = i + j
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+end program coupled
+""",
+            match="couples loop variables",
+        )
+
+    def test_diagonal_access_rejected_at_pattern_level(self):
+        """as(i, i) is rewritten every j iteration: the output-dependence
+        analysis already refuses the site before code generation."""
+        src = """
+program diag
+  integer, parameter :: n = 8, np = 2
+  integer :: as(1:n, 1:n)
+  integer :: ar(1:n, 1:n)
+  integer :: i, j, ierr
+
+  do i = 1, n
+    do j = 1, n
+      as(i, i) = i + j
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n / np, 0, ar, n * n / np, 0, 0, ierr)
+end program diag
+"""
+        result = find_opportunities(parse(src))
+        assert not result.opportunities
+        assert any(
+            "output dependences" in r.reason for r in result.rejections
+        )
+
+    def test_reversed_traversal(self):
+        self._expect_error(
+            """
+program reversed
+  integer, parameter :: n = 16, np = 4
+  integer :: as(1:n)
+  integer :: ar(1:n)
+  integer :: i, ierr
+
+  do i = 1, n
+    as(n - i + 1) = i
+  enddo
+  call mpi_alltoall(as, n / np, 0, ar, n / np, 0, 0, ierr)
+end program reversed
+""",
+            match="in reverse",
+        )
+
+    def test_scheme_b_tile_straddles_partition(self):
+        self._expect_error(
+            direct_1d(n=64, nprocs=8),
+            match="does not divide the partition thickness",
+            k=16,  # planes = 8, K=16 straddles
+        )

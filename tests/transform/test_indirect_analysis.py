@@ -1,0 +1,217 @@
+"""Indirect-pattern analysis: slab geometry and safety rejections."""
+
+import pytest
+from tests.programs import indirect_3d
+
+from repro.analysis.patterns import PatternKind, find_opportunities
+from repro.errors import TransformError
+from repro.lang import parse
+from repro.transform.indirect import analyze_indirect
+from repro.transform.layout import resolve_layout
+
+
+def _opportunity(src: str):
+    source = parse(src)
+    result = find_opportunities(source)
+    assert result.opportunities, [r.reason for r in result.rejections]
+    return result.opportunities[0]
+
+
+class TestPlanGeometry:
+    def test_basic_plan(self):
+        opp = _opportunity(indirect_3d(n=8, nprocs=4))
+        assert opp.kind is PatternKind.INDIRECT
+        layout = resolve_layout(opp)
+        plan = analyze_indirect(opp, layout, tile_size=2)
+        assert plan.trip == 8
+        assert plan.slab == 64  # n*n
+        assert plan.slabs_per_partition == 2
+        assert plan.planes_per_slab == 1
+        assert plan.ntiles == 4
+        assert plan.leftover == 0
+        assert plan.at_rank == 1
+
+    def test_leftover_tiles(self):
+        opp = _opportunity(indirect_3d(n=8, nprocs=4))
+        layout = resolve_layout(opp)
+        plan = analyze_indirect(opp, layout, tile_size=3)
+        assert plan.ntiles == 2
+        assert plan.leftover == 2
+
+    def test_tile_size_bounds(self):
+        opp = _opportunity(indirect_3d(n=8, nprocs=4))
+        layout = resolve_layout(opp)
+        with pytest.raises(TransformError, match="outside"):
+            analyze_indirect(opp, layout, tile_size=9)
+
+    def test_copy_map_facts(self):
+        opp = _opportunity(indirect_3d(n=8, nprocs=4))
+        cm = opp.copy_map
+        assert cm is not None
+        assert cm.trip_count == 64
+        assert cm.at_size == 64
+        assert cm.slab_size == 64
+        # slab base advances by exactly one slab per outer iteration
+        assert cm.as_flat_base.coeff("iy") == 64
+
+
+class TestPatternVerificationRejections:
+    def test_copy_not_full_buffer(self):
+        src = """
+program short
+  integer, parameter :: n = 8, np = 4
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n / 2
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program short
+
+subroutine producer(step, buf)
+  integer :: step
+  integer :: buf(1:64)
+  integer :: i
+
+  do i = 1, 64
+    buf(i) = i + step
+  enddo
+end subroutine producer
+"""
+        result = find_opportunities(parse(src))
+        assert not result.opportunities
+        assert any(
+            "not a full-buffer copy" in r.reason for r in result.rejections
+        )
+
+    def test_permuted_copy_rejected(self):
+        """A copy that reverses At's order is not flat-order preserving."""
+        src = """
+program permuted
+  integer, parameter :: n = 8, np = 4
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(n * n - ix + 1)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program permuted
+
+subroutine producer(step, buf)
+  integer :: step
+  integer :: buf(1:64)
+  integer :: i
+
+  do i = 1, 64
+    buf(i) = i + step
+  enddo
+end subroutine producer
+"""
+        result = find_opportunities(parse(src))
+        assert not result.opportunities
+        assert any(
+            "flat order" in r.reason for r in result.rejections
+        )
+
+    def test_unknown_producer_conservative_default(self):
+        """Producer with no source and no oracle: the default
+        ConservativeOracle assumes mutation (§3.1's sound fallback), so the
+        site is still classified as indirect."""
+        src = """
+program ext
+  integer, parameter :: n = 8, np = 4
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program ext
+"""
+        result = find_opportunities(parse(src))
+        assert len(result.opportunities) == 1
+        assert result.opportunities[0].kind is PatternKind.INDIRECT
+
+    def test_oracle_denial_rejects_indirect(self):
+        """A user answering 'producer does NOT write At' blocks the
+        classification — the §3.1 query actually gates the transform."""
+        from repro.analysis.callinfo import DictOracle
+
+        src = """
+program ext
+  integer, parameter :: n = 8, np = 4
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program ext
+"""
+        result = find_opportunities(
+            parse(src), oracle=DictOracle({"producer": set()}, default=False)
+        )
+        assert not result.opportunities
+        assert any(
+            "does not appear to write" in r.reason for r in result.rejections
+        )
+
+    def test_oracle_answer_enables_transformation(self):
+        from repro.analysis.callinfo import DictOracle
+
+        src = """
+program ext
+  integer, parameter :: n = 8, np = 4
+  integer :: as(1:n, 1:n, 1:n)
+  integer :: ar(1:n, 1:n, 1:n)
+  integer :: at(1:n * n)
+  integer :: iy, ix, tx, ty, ierr
+
+  do iy = 1, n
+    call producer(iy, at)
+    do ix = 1, n * n
+      tx = mod(ix - 1, n) + 1
+      ty = (ix - 1) / n + 1
+      as(tx, ty, iy) = at(ix)
+    enddo
+  enddo
+  call mpi_alltoall(as, n * n * n / np, 0, ar, n * n * n / np, 0, 0, ierr)
+end program ext
+"""
+        result = find_opportunities(
+            parse(src), oracle=DictOracle({"producer": {1}})
+        )
+        assert len(result.opportunities) == 1
+        assert result.opportunities[0].kind is PatternKind.INDIRECT

@@ -1,0 +1,191 @@
+"""Tile geometry invariants (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TransformError
+from repro.transform.tiling import (
+    Tiling,
+    choose_tile_size,
+    comm_rounds,
+    divisors,
+    overlap_headroom,
+)
+
+
+class TestTiling:
+    def test_exact_division(self):
+        t = Tiling(1, 12, 4)
+        assert t.trip == 12
+        assert t.ntiles == 3
+        assert t.leftover == 0
+        assert t.nblocks == 3
+        assert t.ranges() == [(1, 4), (5, 8), (9, 12)]
+
+    def test_leftover(self):
+        t = Tiling(1, 10, 4)
+        assert t.ntiles == 2
+        assert t.leftover == 2
+        assert t.leftover_range() == (9, 10)
+        assert t.ranges() == [(1, 4), (5, 8), (9, 10)]
+
+    def test_nonunit_lower_bound(self):
+        t = Tiling(5, 16, 3)
+        assert t.trip == 12
+        assert t.ranges()[0] == (5, 7)
+        assert t.ranges()[-1] == (14, 16)
+
+    def test_k_equals_trip(self):
+        t = Tiling(1, 8, 8)
+        assert t.ntiles == 1
+        assert t.leftover == 0
+
+    def test_k_one(self):
+        t = Tiling(1, 5, 1)
+        assert t.ntiles == 5
+        assert all(lo == hi for lo, hi in t.ranges())
+
+    def test_tile_of_and_is_tile_end(self):
+        t = Tiling(1, 10, 4)
+        assert t.tile_of(1) == 0
+        assert t.tile_of(4) == 0
+        assert t.tile_of(5) == 1
+        assert t.tile_of(9) == 2  # leftover block
+        assert t.is_tile_end(4)
+        assert t.is_tile_end(8)
+        assert not t.is_tile_end(10)  # leftover end is not a K boundary
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(TransformError):
+            Tiling(1, 4, 5)
+        with pytest.raises(TransformError):
+            Tiling(1, 4, 0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TransformError):
+            Tiling(5, 4, 1)
+
+    def test_tile_range_bounds_checked(self):
+        t = Tiling(1, 8, 4)
+        with pytest.raises(TransformError):
+            t.tile_range(2)
+        with pytest.raises(TransformError):
+            t.leftover_range()
+
+    def test_tile_of_out_of_range(self):
+        with pytest.raises(TransformError):
+            Tiling(1, 8, 4).tile_of(9)
+
+
+@given(
+    lo=st.integers(-20, 20),
+    trip=st.integers(1, 300),
+    k=st.integers(1, 300),
+)
+def test_tiles_partition_the_range(lo, trip, k):
+    """Union of block ranges == [lo, hi], disjoint and ordered."""
+    if k > trip:
+        k = trip
+    hi = lo + trip - 1
+    t = Tiling(lo, hi, k)
+    ranges = t.ranges()
+    # ordered, disjoint, contiguous
+    assert ranges[0][0] == lo
+    assert ranges[-1][1] == hi
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 + 1 == b0
+    # sizes
+    assert all(r1 - r0 + 1 == k for r0, r1 in ranges[: t.ntiles])
+    if t.leftover:
+        r0, r1 = ranges[-1]
+        assert r1 - r0 + 1 == t.leftover
+    assert comm_rounds(trip, k) == len(ranges)
+
+
+@given(trip=st.integers(1, 1000), k=st.integers(1, 1000))
+def test_every_iteration_in_exactly_one_tile(trip, k):
+    if k > trip:
+        k = trip
+    t = Tiling(1, trip, k)
+    ranges = t.ranges()
+    for it in range(1, trip + 1):
+        blocks = [i for i, (a, b) in enumerate(ranges) if a <= it <= b]
+        assert blocks == [t.tile_of(it)]
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(7) == [1, 7]
+
+    def test_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_invalid(self):
+        with pytest.raises(TransformError):
+            divisors(0)
+
+    @given(n=st.integers(1, 2000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert 1 in ds and n in ds
+
+
+class TestChooseTileSize:
+    def test_unconstrained_targets_message_count(self):
+        assert choose_tile_size(64, messages_target=8) == 8
+        assert choose_tile_size(100, messages_target=10) == 10
+
+    def test_clamped_to_trip(self):
+        assert choose_tile_size(3) in (1, 2, 3)
+        assert choose_tile_size(1) == 1
+
+    def test_divisibility_constraint(self):
+        k = choose_tile_size(64, must_divide=16)
+        assert 16 % k == 0
+
+    def test_divisor_closest_to_want(self):
+        # want = 64/8 = 8; divisors of 12 are 1,2,3,4,6,12 -> closest to 8 is 6
+        assert choose_tile_size(64, must_divide=12) == 6
+
+    def test_constraint_caps_at_trip(self):
+        # trip 4 but partition thickness 8: only divisors <= 4 allowed
+        k = choose_tile_size(4, must_divide=8)
+        assert k <= 4 and 8 % k == 0
+
+    def test_invalid_trip(self):
+        with pytest.raises(TransformError):
+            choose_tile_size(0)
+
+    @given(
+        trip=st.integers(1, 500),
+        planes=st.integers(1, 128),
+    )
+    def test_constraint_always_honored(self, trip, planes):
+        k = choose_tile_size(trip, must_divide=planes)
+        assert 1 <= k <= trip
+        assert planes % k == 0
+
+
+class TestOverlapHeadroom:
+    def test_no_tiles(self):
+        assert overlap_headroom(1.0, 1.0, 0) == 0.0
+
+    def test_no_wire(self):
+        assert overlap_headroom(1.0, 0.0, 4) == 0.0
+
+    def test_compute_bound_hides_almost_all(self):
+        # wire fully hidden behind compute except the last tile
+        h = overlap_headroom(compute_per_tile=2.0, wire_per_tile=1.0, ntiles=10)
+        assert h == pytest.approx(0.9)
+
+    def test_comm_bound_hides_fraction(self):
+        h = overlap_headroom(compute_per_tile=0.5, wire_per_tile=1.0, ntiles=10)
+        assert h == pytest.approx(0.45)
+
+    def test_single_tile_hides_nothing(self):
+        assert overlap_headroom(1.0, 1.0, 1) == 0.0
