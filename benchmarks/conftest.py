@@ -7,9 +7,35 @@ and pytest-benchmark records the harness runtime via ``pedantic`` with a
 single round — each "iteration" is a full simulated-cluster experiment,
 so statistical repetition is meaningless (virtual time is deterministic)
 and would only burn wall-clock.
+
+``--benchmark-smoke`` restricts the run to the benchmarks marked
+``smoke`` (the engine/interpreter/transformer throughput checks), which
+finish in seconds — CI uses it as a quick performance canary without
+regenerating every figure.
 """
 
 from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-smoke",
+        action="store_true",
+        default=False,
+        help="run only the quick benchmarks marked 'smoke' "
+        "(skip full figure/ablation regenerations)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--benchmark-smoke"):
+        return
+    skip = pytest.mark.skip(reason="not a smoke benchmark (--benchmark-smoke)")
+    for item in items:
+        if "benchmarks" in str(item.fspath) and "smoke" not in item.keywords:
+            item.add_marker(skip)
 
 
 def run_and_render(benchmark, fn, **kwargs):

@@ -7,7 +7,7 @@ paper's central premise that RDMA-capable interconnects are what make
 pre-pushing pay.
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import ablation_network
 

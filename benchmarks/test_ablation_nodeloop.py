@@ -6,7 +6,7 @@ inward first (the paper's remedy) restores balanced pairwise traffic and
 beats the congested schedule.
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import ablation_nodeloop
 

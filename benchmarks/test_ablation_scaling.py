@@ -7,7 +7,7 @@ balance and the speedup stays above 1 for every NP on the offload
 stack).
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import ablation_scaling
 

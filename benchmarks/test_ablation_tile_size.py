@@ -5,7 +5,7 @@ original schedule with extra bookkeeping (no overlap); a moderate K
 (around trip/8) wins.
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import ablation_tile_size
 

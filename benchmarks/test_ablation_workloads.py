@@ -7,7 +7,7 @@ scheme-B 1-D kernel (figure2) gains least — its per-tile traffic all
 aims at one destination NIC, the congestion §3.5 warns about.
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import ablation_workloads
 

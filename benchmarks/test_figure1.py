@@ -8,7 +8,7 @@ hides the wire time behind the producer's computation and the removed
 copy loop saves CPU outright.
 """
 
-from .conftest import run_and_render
+from benchmarks.conftest import run_and_render
 
 from repro.harness import figure1
 

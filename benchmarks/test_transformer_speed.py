@@ -7,8 +7,12 @@ Unlike the experiment benchmarks, this is a genuine micro-benchmark:
 pytest-benchmark runs it for real statistics.
 """
 
+import pytest
+
 from repro.apps import build_app
 from repro.transform import Compuniformer
+
+pytestmark = pytest.mark.smoke
 
 
 def test_transform_pipeline_speed(benchmark):

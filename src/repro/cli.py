@@ -6,16 +6,30 @@ Subcommands mirror the workflow of the paper's system:
 ``run``        simulate a program on the virtual cluster and report timing
 ``verify``     transform a program and check original/transformed equivalence
 ``apps``       list the built-in workloads (with generated source on demand)
+``networks``   list the registered network scenarios (the preset registry)
 ``figure1``    regenerate the paper's Figure 1 table
 ``bench``      run one or all ablation tables
+
+Every ``--network`` flag accepts any name from the scenario registry
+(:mod:`repro.runtime.network`): the classic stacks (``hostnet``/``mpich``,
+``gmnet``/``mpich-gm``, ``ideal``) plus the extended scenarios —
+``gm-rendezvous`` (eager/rendezvous protocol switch), ``gm-2rail``
+(striped dual-rail NICs), ``gm-congested`` (queued-transfer dilation),
+``rdma-100g`` (modern RDMA-class profile), and ``tcp-10g`` (modern
+host-driven Ethernet).  Models registered at runtime via
+``register_model`` become selectable the same way.  ``bench`` takes
+``--network`` to re-run any ablation under any scenario and
+``--processes`` to fan the scenario sweep out over a process pool.
 
 Examples::
 
     compuniformer transform kernel.f90 -K 16 -o kernel_pp.f90
-    compuniformer run kernel.f90 -n 8 --network mpich-gm
-    compuniformer verify kernel.f90 -n 8
+    compuniformer run kernel.f90 -n 8 --network gmnet
+    compuniformer verify kernel.f90 -n 8 --network rdma-100g
+    compuniformer networks
     compuniformer figure1 --n 32
-    compuniformer bench tile_size
+    compuniformer bench tile_size --network gm-2rail
+    compuniformer bench scenarios --processes 8
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ from .harness import (
     ablation_network,
     ablation_nodeloop,
     ablation_scaling,
+    ablation_scenarios,
     ablation_tile_size,
     ablation_workloads,
     bar_chart,
@@ -37,7 +52,7 @@ from .harness import (
     measure,
 )
 from .runtime.costmodel import DEFAULT_COST_MODEL
-from .runtime.network import PRESETS
+from .runtime.network import get_model, list_models
 from .transform.prepush import Compuniformer
 from .verify import verify_transform
 
@@ -47,7 +62,11 @@ _BENCHES = {
     "network": ablation_network,
     "workloads": ablation_workloads,
     "nodeloop": ablation_nodeloop,
+    "scenarios": ablation_scenarios,
 }
+
+#: benches that accept a ``network=`` keyword (the others sweep their own)
+_BENCHES_WITH_NETWORK = {"tile_size", "scaling", "workloads", "nodeloop"}
 
 
 def _read_source(path: str) -> str:
@@ -64,9 +83,10 @@ def _tile_size(text: str):
 def _add_network_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--network",
-        choices=sorted(PRESETS),
+        choices=list_models(),
         default="mpich-gm",
-        help="network model preset (default: mpich-gm)",
+        help="registered network scenario (default: mpich-gm); "
+        "see 'compuniformer networks'",
     )
 
 
@@ -116,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("apps", help="list or print the built-in workloads")
     p.add_argument("name", nargs="?", help="print this workload's source")
 
+    sub.add_parser(
+        "networks", help="list the registered network scenarios"
+    )
+
     p = sub.add_parser("figure1", help="regenerate the paper's Figure 1")
     p.add_argument("--n", type=int, default=32, help="cube edge (default 32)")
     p.add_argument("--nranks", type=int, default=8)
@@ -128,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         choices=sorted(_BENCHES) + ["all"],
         default="all",
+    )
+    p.add_argument(
+        "--network",
+        choices=list_models(),
+        default=None,
+        help="run the ablation under this scenario (where applicable)",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="process-pool size for the 'scenarios' sweep",
     )
     return parser
 
@@ -162,7 +198,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         m = measure(
             _read_source(args.file),
             args.nranks,
-            PRESETS[args.network],
+            get_model(args.network),
             cost_model=DEFAULT_COST_MODEL,
         )
         print(f"network:        {m.network}")
@@ -181,7 +217,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             _read_source(args.file),
             args.nranks,
             tile_size=args.tile_size,
-            network=PRESETS[args.network],
+            network=get_model(args.network),
         )
         print(report.describe())
         if equivalence.equivalent:
@@ -225,10 +261,33 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(bar_chart(labels, values, unit="x"))
         return 0
 
+    if args.command == "networks":
+        for name in list_models():
+            m = get_model(name)
+            alias = f" -> {m.name}" if m.name != name else ""
+            rails = f", {m.rails} rails" if m.rails > 1 else ""
+            congestion = (
+                f", congestion x{m.congestion_factor:g}"
+                if m.congestion_factor != 1.0
+                else ""
+            )
+            print(
+                f"{name:16s}{alias:14s} latency={m.latency:.3g}s "
+                f"byte_time={m.byte_time:.3g}s/B "
+                f"offload={'yes' if m.offload else 'no'} "
+                f"{m.protocol_label()}{rails}{congestion}"
+            )
+        return 0
+
     if args.command == "bench":
         names = sorted(_BENCHES) if args.name == "all" else [args.name]
         for name in names:
-            print(_BENCHES[name]().render())
+            kwargs = {}
+            if args.network and name in _BENCHES_WITH_NETWORK:
+                kwargs["network"] = args.network
+            if args.processes and name == "scenarios":
+                kwargs["processes"] = args.processes
+            print(_BENCHES[name](**kwargs).render())
             print()
         return 0
 

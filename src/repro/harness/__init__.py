@@ -6,6 +6,7 @@ from .figures import (  # noqa: F401
     ablation_network,
     ablation_nodeloop,
     ablation_scaling,
+    ablation_scenarios,
     ablation_tile_size,
     ablation_workloads,
     figure1,
@@ -26,6 +27,7 @@ __all__ = [
     "ablation_network",
     "ablation_workloads",
     "ablation_nodeloop",
+    "ablation_scenarios",
     "Table",
     "bar_chart",
     "format_seconds",

@@ -26,7 +26,14 @@ from ..apps import (
     sample_sort_exchange,
 )
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
-from ..runtime.network import MPICH_GM, MPICH_P4, NetworkModel
+from ..runtime.network import (
+    MPICH_GM,
+    MPICH_P4,
+    NetworkModel,
+    get_model,
+    list_models,
+    resolve_model,
+)
 from .report import Table
 from .runner import PairResult, PreparedApp
 
@@ -37,7 +44,10 @@ __all__ = [
     "ablation_network",
     "ablation_workloads",
     "ablation_nodeloop",
+    "ablation_scenarios",
 ]
+
+NetworkLike = Union[str, NetworkModel]
 
 
 def figure1(
@@ -118,7 +128,7 @@ def ablation_tile_size(
     nranks: int = 8,
     steps: int = 1,
     stages: int = 6,
-    network: NetworkModel = MPICH_GM,
+    network: NetworkLike = MPICH_GM,
     verify: bool = True,
 ) -> Table:
     """Ablation A: the U-shaped tile-size trade-off (deferred to [3]).
@@ -128,6 +138,7 @@ def ablation_tile_size(
     degenerates to the original schedule).  The sweep runs the
     FFT-transpose kernel (scheme A, K unconstrained).
     """
+    network = resolve_model(network)
     if ks is None:
         ks = [k for k in (1, 4, 8, 16, 32, 64, n) if k <= n]
     app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
@@ -159,10 +170,11 @@ def ablation_scaling(
     n: int = 128,
     steps: int = 1,
     stages: int = 6,
-    network: NetworkModel = MPICH_GM,
+    network: NetworkLike = MPICH_GM,
     verify: bool = True,
 ) -> Table:
     """Ablation B: cluster-size scaling of the prepush benefit."""
+    network = resolve_model(network)
     table = Table(
         title=f"Ablation B — cluster size sweep (fft n={n}, {network.name})",
         columns=["NP", "time_original_s", "time_prepush_s", "speedup"],
@@ -239,7 +251,7 @@ def ablation_network(
 def ablation_workloads(
     *,
     nranks: int = 8,
-    network: NetworkModel = MPICH_GM,
+    network: NetworkLike = MPICH_GM,
     sizes: Optional[dict] = None,
     cpu_scale: float = 4.0,
     verify: bool = True,
@@ -250,6 +262,7 @@ def ablation_workloads(
     transferred element; the scheme-B workload (figure2) is expected to
     gain least — its traffic is the §3.5 congested shape.
     """
+    network = resolve_model(network)
     sizes = sizes or {}
     apps = [
         figure2_kernel(
@@ -299,7 +312,7 @@ def ablation_nodeloop(
     nranks: int = 8,
     steps: int = 1,
     stages: int = 6,
-    network: NetworkModel = MPICH_GM,
+    network: NetworkLike = MPICH_GM,
     cpu_scale: float = 4.0,
     verify: bool = True,
 ) -> Table:
@@ -311,6 +324,7 @@ def ablation_nodeloop(
     destination NIC).  Both are correct; the congested variant shows the
     efficiency loss the paper warns about.
     """
+    network = resolve_model(network)
     app = nodeloop_kernel(n=n, nranks=nranks, steps=steps, stages=stages)
     cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
     table = Table(
@@ -340,4 +354,94 @@ def ablation_nodeloop(
         congested.prepush.time,
         base / congested.prepush.time,
     )
+    return table
+
+
+def ablation_scenarios(
+    *,
+    names: Optional[Sequence[str]] = None,
+    n: int = 96,
+    nranks: int = 8,
+    steps: int = 1,
+    stages: int = 6,
+    cpu_scale: float = 4.0,
+    verify: bool = True,
+    processes: Optional[int] = None,
+) -> Table:
+    """Ablation F: the prepush benefit across every registered scenario.
+
+    Sweeps the FFT-transpose pair over the scenario registry — including
+    protocol-switching (eager/rendezvous), multi-rail, congested-fabric,
+    and modern RDMA-class profiles — so any model added with
+    :func:`~repro.runtime.network.register_model` automatically joins the
+    study.  ``names=None`` selects every registered model except
+    ``ideal`` (which only isolates compute), deduplicating aliases.
+
+    ``processes`` > 1 runs the per-scenario simulations on a process
+    pool via :func:`~repro.interp.runner.run_many` (the sweep is
+    embarrassingly parallel; results are identical either way).
+    """
+    if names is None:
+        seen: set = set()
+        models: List[NetworkModel] = []
+        for name in list_models():
+            model = get_model(name)
+            if id(model) in seen or model.name == "ideal":
+                continue
+            seen.add(id(model))
+            models.append(model)
+        models.sort(key=lambda m: m.name)
+    else:
+        models = [get_model(name) for name in names]
+
+    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
+    app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
+    prepared = PreparedApp(app, verify=verify, cost_model=cost)
+    table = Table(
+        title=f"Ablation F — scenario registry sweep (fft n={n}, NP={nranks})",
+        columns=[
+            "scenario",
+            "offload",
+            "protocol",
+            "time_original_s",
+            "time_prepush_s",
+            "speedup",
+        ],
+    )
+
+    if processes is not None and processes > 1:
+        from ..interp.runner import ClusterJob, run_many
+
+        jobs = []
+        for model in models:
+            for source in (app.source, prepared.transform.source):
+                jobs.append(
+                    ClusterJob(
+                        program=source,
+                        nranks=app.nranks,
+                        network=model,
+                        cost_model=cost,
+                        externals=app.externals,
+                    )
+                )
+        runs = run_many(jobs, processes=processes)
+        pairs = [
+            (model, runs[2 * i].time, runs[2 * i + 1].time)
+            for i, model in enumerate(models)
+        ]
+    else:
+        pairs = []
+        for model in models:
+            result = prepared.run_on(model)
+            pairs.append((model, result.original.time, result.prepush.time))
+
+    for model, t_orig, t_pp in pairs:
+        table.add(
+            model.name,
+            "yes" if model.offload else "no",
+            model.protocol_label(),
+            t_orig,
+            t_pp,
+            t_orig / t_pp if t_pp > 0 else float("inf"),
+        )
     return table

@@ -17,7 +17,7 @@ from ..errors import ReproError
 from ..interp.runner import run_cluster
 from ..lang.ast_nodes import SourceFile
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
-from ..runtime.network import NetworkModel
+from ..runtime.network import NetworkModel, resolve_model
 from ..transform.prepush import Compuniformer, TransformReport
 from ..verify import compare_runs
 
@@ -46,13 +46,17 @@ class Measurement:
 def measure(
     program: Union[str, SourceFile],
     nranks: int,
-    network: NetworkModel,
+    network: Union[str, NetworkModel],
     *,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals=None,
     label: str = "",
 ) -> Measurement:
-    """Simulate once and fold the per-rank stats into a measurement."""
+    """Simulate once and fold the per-rank stats into a measurement.
+
+    ``network`` may be a model instance or a registered scenario name.
+    """
+    network = resolve_model(network)
     run = run_cluster(
         program,
         nranks,
@@ -159,8 +163,9 @@ class PreparedApp:
                 + "\n  ".join(report.mismatches[:5])
             )
 
-    def run_on(self, network: NetworkModel) -> PairResult:
-        """Measure both variants on one network model."""
+    def run_on(self, network: Union[str, NetworkModel]) -> PairResult:
+        """Measure both variants on one network model (or scenario name)."""
+        network = resolve_model(network)
         original = measure(
             self.app.source,
             self.app.nranks,
@@ -189,7 +194,7 @@ class PreparedApp:
 
 def run_pair(
     app: AppSpec,
-    network: NetworkModel,
+    network: Union[str, NetworkModel],
     *,
     tile_size: Union[int, str] = "auto",
     interchange: str = "auto",

@@ -7,6 +7,14 @@ executed operation from the :class:`~repro.runtime.costmodel.CostModel`
 and is flushed to the engine as ``Compute`` events (always before any
 communication, so overlap timing is exact at MPI boundaries).
 
+Statements whose subtree contains no MPI call never yield: they are
+compiled once into specialized closures by
+:class:`~repro.interp.compiler.StmtCompiler` and executed eagerly, with
+their accumulated CPU charge batched into a single ``Compute`` event at
+the next communication point (identical virtual-time totals, far less
+Python overhead — DESIGN.md §5).  Only the communication skeleton pays
+the generator slow path below.
+
 MPI is intercepted by name:
 
 ====================  ====================================================
@@ -138,7 +146,13 @@ class Interpreter:
             u.name: u for u in source.units if isinstance(u, Subroutine)
         }
         self.output: List[Tuple[Any, ...]] = []
-        self._acc = 0.0  # accumulated un-flushed compute seconds
+        # accumulated un-flushed compute seconds, held in a one-element
+        # list so compiled closures can charge it without a method call
+        self._acc_cell: List[float] = [0.0]
+        from .compiler import StmtCompiler
+
+        self._compiler = StmtCompiler(self)
+        self._dummy_info: Dict[int, Dict[str, Tuple[str, List[DimSpec]]]] = {}
 
     # ------------------------------------------------------------- plumbing
 
@@ -151,15 +165,16 @@ class Interpreter:
         return self.comm.size if self.comm else 1
 
     def charge(self, seconds: float) -> None:
-        self._acc += seconds
+        self._acc_cell[0] += seconds
 
     def _flush(self) -> Gen:
-        if self._acc > 0.0:
-            acc, self._acc = self._acc, 0.0
-            yield Compute(seconds=acc)
+        acc = self._acc_cell
+        if acc[0] > 0.0:
+            seconds, acc[0] = acc[0], 0.0
+            yield Compute(seconds=seconds)
 
     def _maybe_flush(self) -> Gen:
-        if self._acc >= self.cost.flush_threshold:
+        if self._acc_cell[0] >= self.cost.flush_threshold:
             yield from self._flush()
 
     # ------------------------------------------------------------------ run
@@ -233,8 +248,15 @@ class Interpreter:
     # ------------------------------------------------------------ statements
 
     def _exec_body(self, body: Sequence[Stmt], frame: Frame) -> Gen:
-        for stmt in body:
-            yield from self._exec_stmt(stmt, frame)
+        # Pure statements (no MPI anywhere below) were compiled to plain
+        # closures; they run eagerly without touching the generator
+        # machinery.  Only communication-bearing statements go through
+        # the yielding slow path.  See compiler.StmtCompiler.
+        for fn, stmt in self._compiler.body_entries(body):
+            if fn is not None:
+                fn(frame)
+            else:
+                yield from self._exec_stmt(stmt, frame)
 
     def _exec_stmt(self, stmt: Stmt, frame: Frame) -> Gen:
         self.charge(self.cost.stmt_overhead)
@@ -395,6 +417,37 @@ class Interpreter:
     def _exec_subroutine(
         self, sub: Subroutine, stmt: CallStmt, frame: Frame
     ) -> Gen:
+        callee, copy_back, element_back = self._bind_call(sub, stmt, frame)
+        try:
+            yield from self._exec_body(sub.body, callee)
+        except _Return:
+            pass
+        self._copy_back_results(frame, callee, copy_back, element_back)
+
+    def _sub_dummy_info(
+        self, sub: Subroutine
+    ) -> Dict[str, Tuple[str, List[DimSpec]]]:
+        """Classify dummy arguments from the callee's declarations (cached)."""
+        info = self._dummy_info.get(id(sub))
+        if info is None:
+            info = {}
+            for decl in sub.decls:
+                if isinstance(decl, TypeDecl):
+                    for ent in decl.entities:
+                        if ent.name in sub.params:
+                            info[ent.name] = (decl.base_type, ent.dims)
+            self._dummy_info[id(sub)] = info
+        return info
+
+    def _bind_call(
+        self, sub: Subroutine, stmt: CallStmt, frame: Frame
+    ) -> Tuple[Frame, list, list]:
+        """Build the callee frame for one call: argument binding only.
+
+        Returns ``(callee_frame, copy_back, element_back)``; the caller
+        (generator slow path or compiled fast path) executes the body and
+        then applies :meth:`_copy_back_results`.
+        """
         if len(stmt.args) != len(sub.params):
             raise InterpError(
                 f"call to {sub.name!r} passes {len(stmt.args)} args, "
@@ -403,13 +456,7 @@ class Interpreter:
             )
         self.charge(self.cost.call_overhead)
         callee = Frame(unit_name=sub.name)
-        # classify dummies from the callee's declarations
-        dummy_info: Dict[str, Tuple[str, List[DimSpec]]] = {}
-        for decl in sub.decls:
-            if isinstance(decl, TypeDecl):
-                for ent in decl.entities:
-                    if ent.name in sub.params:
-                        dummy_info[ent.name] = (decl.base_type, ent.dims)
+        dummy_info = self._sub_dummy_info(sub)
         copy_back: List[Tuple[str, VarRef]] = []
         element_back: List[Tuple[str, FArray, List[int]]] = []
         array_binds: List[Tuple[str, FArray, int, List[DimSpec], str]] = []
@@ -472,11 +519,12 @@ class Interpreter:
             callee.arrays[pname] = src.view_from(offset, bounds, base_type)
 
         self._elaborate_decls(sub.decls, callee)
-        try:
-            yield from self._exec_body(sub.body, callee)
-        except _Return:
-            pass
+        return callee, copy_back, element_back
 
+    def _copy_back_results(
+        self, frame: Frame, callee: Frame, copy_back: list, element_back: list
+    ) -> None:
+        """Value-result copy-back for scalar actuals after a call returns."""
         for pname, actual in copy_back:
             frame.scalars[actual.name] = self._coerce(
                 callee.scalars[pname], frame.types.get(actual.name, "integer")

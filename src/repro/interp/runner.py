@@ -5,11 +5,20 @@ instantiates one :class:`~repro.interp.interpreter.Interpreter` per rank,
 drives them through the :class:`~repro.runtime.simulator.Engine`, and
 returns timing plus each rank's printed output and final array contents —
 everything the correctness checker and the benchmark harness need.
+Network models may be passed as instances or as registered scenario
+names (:mod:`repro.runtime.network`).
+
+:func:`run_many` executes a batch of independent simulations, optionally
+across a process pool — figure sweeps rerun the same programs over many
+network scenarios, which is embarrassingly parallel.  Each simulation is
+deterministic on its own, so the pool changes wall-clock time only,
+never results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import pickle
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -18,7 +27,7 @@ from ..lang import SourceFile, parse
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.events import SimResult
 from ..runtime.mpi import SimComm
-from ..runtime.network import IDEAL, NetworkModel
+from ..runtime.network import IDEAL, NetworkModel, resolve_model
 from ..runtime.simulator import Engine
 from .interpreter import Interpreter
 from .procedures import ExternalRegistry
@@ -54,13 +63,18 @@ def _as_source(program: Union[str, SourceFile]) -> SourceFile:
 def run_cluster(
     program: Union[str, SourceFile],
     nranks: int,
-    network: NetworkModel = IDEAL,
+    network: Union[str, NetworkModel] = IDEAL,
     *,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals: Optional[ExternalRegistry] = None,
     detect_races: bool = True,
 ) -> ClusterRun:
-    """Simulate ``program`` on ``nranks`` ranks over ``network``."""
+    """Simulate ``program`` on ``nranks`` ranks over ``network``.
+
+    ``network`` is a :class:`~repro.runtime.network.NetworkModel` or the
+    name of a registered scenario (e.g. ``"gmnet"``).
+    """
+    network = resolve_model(network)
     source = _as_source(program)
     interps = [
         Interpreter(
@@ -102,3 +116,74 @@ def run_serial(
         cost_model=cost_model,
         externals=externals,
     )
+
+
+# ------------------------------------------------------- parallel sweeps
+
+
+@dataclass
+class ClusterJob:
+    """One independent simulation in a batch (see :func:`run_many`)."""
+
+    program: Union[str, SourceFile]
+    nranks: int
+    network: Union[str, NetworkModel] = "ideal"
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    detect_races: bool = True
+    externals: Optional[ExternalRegistry] = None
+    label: str = ""
+
+
+def _run_job(job: ClusterJob) -> ClusterRun:
+    return run_cluster(
+        job.program,
+        job.nranks,
+        job.network,
+        cost_model=job.cost_model,
+        externals=job.externals,
+        detect_races=job.detect_races,
+    )
+
+
+def _poolable(jobs: Sequence[ClusterJob]) -> bool:
+    """True when every job can cross a process boundary.
+
+    External registries usually hold closures (``make_producer``), which
+    do not pickle; such sweeps silently run serially instead of failing.
+    """
+    try:
+        pickle.dumps(list(jobs))
+    except Exception:
+        return False
+    return True
+
+
+def run_many(
+    jobs: Sequence[ClusterJob],
+    *,
+    processes: Optional[int] = None,
+) -> List[ClusterRun]:
+    """Run independent simulations, optionally on a process pool.
+
+    ``processes=None`` (or < 2, or a single job, or unpicklable jobs)
+    runs serially in submission order.  Otherwise up to ``processes``
+    workers execute the batch; results come back in submission order, so
+    output is identical either way — sweeps are deterministic per job.
+    """
+    jobs = list(jobs)
+    if processes is None or processes < 2 or len(jobs) < 2:
+        return [_run_job(j) for j in jobs]
+    # resolve scenario names to model instances before shipping: a worker
+    # under the 'spawn' start method re-imports the registry and would not
+    # see models registered at runtime in this process
+    shipped = [replace(j, network=resolve_model(j.network)) for j in jobs]
+    if not _poolable(shipped):
+        return [_run_job(j) for j in jobs]
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(processes, len(jobs))) as pool:
+            return list(pool.map(_run_job, shipped))
+    except (OSError, RuntimeError):
+        # sandboxes without working multiprocessing fall back to serial
+        return [_run_job(j) for j in jobs]

@@ -20,7 +20,22 @@ from .events import (  # noqa: F401
     Wait,
 )
 from .mpi import SimComm  # noqa: F401
-from .network import IDEAL, MPICH_GM, MPICH_P4, PRESETS, NetworkModel  # noqa: F401
+from .network import (  # noqa: F401
+    GM_2RAIL,
+    GM_CONGESTED,
+    GM_RENDEZVOUS,
+    IDEAL,
+    MPICH_GM,
+    MPICH_P4,
+    PRESETS,
+    RDMA_100G,
+    TCP_10G,
+    NetworkModel,
+    get_model,
+    list_models,
+    register_model,
+    resolve_model,
+)
 from .simulator import Engine, simulate  # noqa: F401
 
 __all__ = [
@@ -36,7 +51,16 @@ __all__ = [
     "MPICH_P4",
     "MPICH_GM",
     "IDEAL",
+    "GM_RENDEZVOUS",
+    "GM_2RAIL",
+    "GM_CONGESTED",
+    "RDMA_100G",
+    "TCP_10G",
     "PRESETS",
+    "register_model",
+    "get_model",
+    "list_models",
+    "resolve_model",
     "Compute",
     "Isend",
     "Irecv",

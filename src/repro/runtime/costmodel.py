@@ -30,9 +30,11 @@ class CostModel:
     intrinsic: float = 3.0e-9
     #: subroutine call/return overhead
     call_overhead: float = 20.0e-9
-    #: granularity: the interpreter flushes accumulated compute time to the
-    #: engine whenever it exceeds this many seconds (and always before a
-    #: communication operation), bounding event count without changing totals
+    #: granularity: the interpreter's generator (slow) path flushes
+    #: accumulated compute time to the engine whenever it exceeds this many
+    #: seconds (and always before a communication operation); the compiled
+    #: fast path batches whole yield-free regions into one Compute event.
+    #: Neither choice changes virtual-time totals (DESIGN.md §5).
     flush_threshold: float = 5.0e-6
 
     def scaled(self, factor: float) -> "CostModel":

@@ -49,9 +49,10 @@ class Compute(SimOp):
 class Isend(SimOp):
     """Start a non-blocking send.  Engine returns an integer handle.
 
-    ``data`` is the payload *view*; the engine snapshots it immediately
-    (eager copy) and re-checks it at send completion to detect programs
-    that modify a buffer with a transfer in flight.
+    ``data`` is the payload *view*; the engine snapshots it copy-on-write
+    (the copy is deferred until the sending rank next executes — the only
+    point its buffers can change) and re-checks it at send completion to
+    detect programs that modify a buffer with a transfer in flight.
     """
 
     dest: int
@@ -122,8 +123,11 @@ class Message:
     dest: int
     tag: int
     nbytes: int
-    payload: np.ndarray  # snapshot taken at isend
-    source_view: Optional[np.ndarray]  # live view for race detection
+    #: column-major snapshot; None until the copy-on-write boundary (the
+    #: sender's next step) forces it, or delivery consumes the live view
+    payload: Optional[np.ndarray]
+    #: live view of the send buffer (snapshot source + race detection)
+    source_view: Any
     t_posted: float
     t_wire_start: float = 0.0
     t_complete: float = 0.0

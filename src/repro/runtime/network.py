@@ -1,4 +1,4 @@
-"""Network performance models: host-based MPICH vs. NIC-offload MPICH-GM.
+"""Network performance models and the named scenario registry.
 
 The paper's measurements compare two stacks on the same cluster:
 
@@ -26,11 +26,39 @@ We model both with a LogGP-style parameterization:
                    also used for the local self-partition memcpy
 =================  =========================================================
 
-Endpoint contention: each node has one NIC; a transfer occupies the
-sender NIC and the receiver NIC for ``nbytes * byte_time`` and the wire
-adds ``latency``.  This serialization is what produces the congestion the
-paper warns about when every rank targets the same node (§3.5).
+plus four scenario-extension knobs whose defaults reproduce the classic
+models bit-for-bit (see DESIGN.md §4 for the semantics):
 
+==================== ======================================================
+``eager_threshold``  bytes; messages larger than this use a rendezvous
+                     protocol (extra handshake latency, no bounce-buffer
+                     copy on early arrival).  ``None`` = always eager.
+``rendezvous_latency`` extra end-to-end latency charged to a rendezvous
+                     message (the request-to-send/clear-to-send handshake)
+``rails``            parallel NIC rails; wire occupancy divides by this
+``congestion_factor`` multiplier on wire time for transfers that had to
+                     queue behind a busy NIC (endpoint contention penalty)
+==================== ======================================================
+
+Endpoint contention: each node has one NIC (possibly multi-rail); a
+transfer occupies the sender NIC and the receiver NIC for its wire time
+and the wire adds ``latency``.  This serialization is what produces the
+congestion the paper warns about when every rank targets the same node
+(§3.5).
+
+**Scenario registry.**  Models are looked up by name — the CLI's
+``--network`` flag, the harness, and the ablation benchmarks all accept
+any registered name, so new cluster scenarios become sweepable without
+touching experiment code:
+
+    >>> from repro.runtime.network import get_model, list_models, register_model
+    >>> get_model("gmnet").offload
+    True
+    >>> register_model(get_model("gmnet").with_(name="gm-slow", latency=80e-6))
+    NetworkModel(name='gm-slow', ...)
+
+``hostnet`` and ``gmnet`` are the canonical aliases for the paper's two
+stacks (the original ``mpich`` / ``mpich-gm`` names remain registered).
 Default constants are of 2005-era magnitude (Fast-Ethernet-class TCP vs
 Myrinet 2000); the *shape* of the results depends on the ratios, not the
 absolute values, and the benchmark harness sweeps them (Ablation C).
@@ -39,6 +67,9 @@ absolute values, and the benchmark harness sweeps them (Ablation C).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
+
+from ..errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -53,6 +84,24 @@ class NetworkModel:
     offload: bool
     host_byte_time: float
     copy_byte_time: float
+    #: eager/rendezvous protocol switch point in bytes (None = always eager)
+    eager_threshold: Optional[int] = None
+    #: extra handshake latency for rendezvous-sized messages (s)
+    rendezvous_latency: float = 0.0
+    #: parallel NIC rails sharing the transfer (striped DMA)
+    rails: int = 1
+    #: wire-time multiplier applied to transfers that queued behind a busy NIC
+    congestion_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rails < 1:
+            raise SimulationError(
+                f"network model {self.name!r}: rails must be >= 1"
+            )
+        if self.congestion_factor <= 0:
+            raise SimulationError(
+                f"network model {self.name!r}: congestion_factor must be > 0"
+            )
 
     def send_cpu_cost(self, nbytes: int) -> float:
         """Host CPU time consumed by initiating a send of ``nbytes``."""
@@ -66,10 +115,35 @@ class NetworkModel:
 
     def wire_time(self, nbytes: int) -> float:
         """NIC/wire occupancy of one message (excluding latency)."""
+        if self.rails > 1:
+            return nbytes * self.byte_time / self.rails
         return nbytes * self.byte_time
 
+    def is_rendezvous(self, nbytes: int) -> bool:
+        """True when a message of this size uses the rendezvous protocol."""
+        return self.eager_threshold is not None and nbytes > self.eager_threshold
+
+    def msg_latency(self, nbytes: int) -> float:
+        """End-to-end latency of one message, including any handshake."""
+        if self.is_rendezvous(nbytes):
+            return self.latency + self.rendezvous_latency
+        return self.latency
+
+    def protocol_label(self) -> str:
+        """Human-readable protocol summary for listings and tables."""
+        if self.eager_threshold is None:
+            return "eager"
+        return f"rendezvous>{self.eager_threshold}B"
+
     def unexpected_copy_cost(self, nbytes: int) -> float:
-        """CPU cost to drain an unexpected message from the bounce buffer."""
+        """CPU cost to drain an unexpected message from the bounce buffer.
+
+        Rendezvous messages never land in the bounce buffer — the
+        handshake delays the payload until the receive is posted — so
+        they pay the handshake latency instead of the copy.
+        """
+        if self.is_rendezvous(nbytes):
+            return 0.0
         return nbytes * self.copy_byte_time
 
     def local_copy_cost(self, nbytes: int) -> float:
@@ -117,4 +191,107 @@ IDEAL = NetworkModel(
     copy_byte_time=0.0,
 )
 
-PRESETS = {m.name: m for m in (MPICH_P4, MPICH_GM, IDEAL)}
+#: GM with an eager/rendezvous protocol switch: large messages pay a
+#: request-to-send/clear-to-send handshake but never bounce-buffer copies.
+GM_RENDEZVOUS = MPICH_GM.with_(
+    name="gm-rendezvous",
+    eager_threshold=16384,
+    rendezvous_latency=2 * MPICH_GM.latency,
+)
+
+#: Dual-rail Myrinet: two NICs stripe each transfer, halving wire time.
+GM_2RAIL = MPICH_GM.with_(name="gm-2rail", rails=2)
+
+#: GM on a congested fabric: queued transfers pay a 60% wire-time penalty,
+#: amplifying the §3.5 single-destination hot-spot effect.
+GM_CONGESTED = MPICH_GM.with_(name="gm-congested", congestion_factor=1.6)
+
+#: Modern RDMA-class profile (InfiniBand/RoCE-era): ~1 µs latency,
+#: ~12.5 GB/s, rendezvous above 8 KiB, tiny host overheads.
+RDMA_100G = NetworkModel(
+    name="rdma-100g",
+    latency=1.2e-6,
+    byte_time=0.08e-9,
+    send_overhead=0.4e-6,
+    recv_overhead=0.3e-6,
+    offload=True,
+    host_byte_time=0.0,
+    copy_byte_time=0.15e-9,
+    eager_threshold=8192,
+    rendezvous_latency=2.4e-6,
+)
+
+#: Modern host-driven 10G Ethernet: fast wire, but the CPU still moves
+#: every byte — the "no overlap" regime at contemporary bandwidth.
+TCP_10G = NetworkModel(
+    name="tcp-10g",
+    latency=15e-6,
+    byte_time=1.0e-9,
+    send_overhead=5e-6,
+    recv_overhead=2e-6,
+    offload=False,
+    host_byte_time=0.9e-9,
+    copy_byte_time=1.0e-9,
+)
+
+
+# --------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, NetworkModel] = {}
+
+#: Legacy alias kept for backward compatibility: the registry *is* the
+#: old PRESETS mapping (same object), so ``PRESETS[name]`` still works.
+PRESETS = _REGISTRY
+
+
+def register_model(
+    model: NetworkModel, *aliases: str, overwrite: bool = False
+) -> NetworkModel:
+    """Register ``model`` under its name (plus optional aliases).
+
+    Raises :class:`~repro.errors.SimulationError` when a name is already
+    taken by a *different* model, unless ``overwrite=True``.  Returns the
+    model so registration composes with construction.
+    """
+    for name in (model.name, *aliases):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing != model and not overwrite:
+            raise SimulationError(
+                f"network model name {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        _REGISTRY[name] = model
+    return model
+
+
+def get_model(name: str) -> NetworkModel:
+    """Look up a registered network scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown network model {name!r}; registered models: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def list_models() -> List[str]:
+    """Sorted names of every registered scenario (aliases included)."""
+    return sorted(_REGISTRY)
+
+
+def resolve_model(model: Union[str, NetworkModel]) -> NetworkModel:
+    """Accept either a registered name or a model instance."""
+    if isinstance(model, NetworkModel):
+        return model
+    return get_model(model)
+
+
+register_model(MPICH_P4, "hostnet")
+register_model(MPICH_GM, "gmnet")
+register_model(IDEAL)
+register_model(GM_RENDEZVOUS)
+register_model(GM_2RAIL)
+register_model(GM_CONGESTED)
+register_model(RDMA_100G)
+register_model(TCP_10G)

@@ -14,8 +14,13 @@ see DESIGN.md §3):
   per-byte host cost when the stack is host-driven, i.e. the entire
   reason MPICH cannot overlap).  The wire transfer is then scheduled *at
   that virtual time* on the sender/receiver NIC pair: it starts when both
-  NICs are free, occupies them for ``nbytes * byte_time`` and completes
-  ``latency`` later.  The payload is snapshot eagerly; the live view is
+  NICs are free, occupies them for ``model.wire_time(nbytes)`` (striped
+  across ``rails``, dilated by ``congestion_factor`` when it had to queue
+  behind a busy NIC) and completes ``model.msg_latency(nbytes)`` later
+  (rendezvous-sized messages pay the handshake there).  The payload is
+  snapshot copy-on-write: the engine defers the copy until the sending
+  rank next executes (the only point its buffers can change), so a
+  message consumed before then never pays the copy.  The live view is
   re-checked when the send completes so in-flight buffer modification
   (an unsafe transformation!) is detected and reported.
 * ``Irecv`` — rank clock += recv_overhead; the receive matches messages
@@ -30,6 +35,11 @@ see DESIGN.md §3):
 The engine is single-threaded and fully deterministic: ties are broken by
 monotonically increasing sequence numbers, never by Python hashing or
 wall-clock effects.
+
+Fast path: operations dispatch through a per-type handler table, and a
+run of consecutive ``Compute`` yields from one rank is drained in a
+single step (they only advance that rank's private clock, so skipping
+the global scheduler between them cannot change any observable timing).
 """
 
 from __future__ import annotations
@@ -55,7 +65,8 @@ from .events import (
     SimResult,
     Wait,
 )
-from .network import NetworkModel
+from .events import MsgState
+from .network import NetworkModel, resolve_model
 
 RankProgram = Generator[SimOp, Any, None]
 
@@ -121,11 +132,11 @@ class Engine:
     def __init__(
         self,
         programs: Sequence[RankProgram],
-        network: NetworkModel,
+        network: "NetworkModel | str",
         *,
         detect_races: bool = True,
     ) -> None:
-        self.network = network
+        self.network = resolve_model(network)
         self.detect_races = detect_races
         self.ranks = [_Rank(index=i, gen=g) for i, g in enumerate(programs)]
         self.nranks = len(self.ranks)
@@ -138,6 +149,23 @@ class Engine:
         self._nic_recv_free = [0.0] * self.nranks
         self._barrier_waiting: List[int] = []
         self.warnings: List[str] = []
+        #: operations processed (SimOps + heap events + wakes); exposed for
+        #: the engine-throughput benchmark
+        self.ops_processed = 0
+        # copy-on-write payload snapshots: messages whose payload has not
+        # been copied yet, per sending rank (drained at the sender's next
+        # step, the only point its buffers can change)
+        self._lazy_msgs: List[List[Message]] = [[] for _ in range(self.nranks)]
+        self._lazy_count = 0
+        # exact-type handler table; isinstance fallback covers subclasses
+        self._handlers: Dict[type, Callable[[_Rank, SimOp], None]] = {
+            Compute: self._h_compute,
+            Isend: self._h_isend,
+            Irecv: self._h_irecv,
+            Wait: self._h_wait,
+            Barrier: self._h_barrier,
+            LocalCopy: self._h_local_copy,
+        }
 
     # ------------------------------------------------------------------ api
 
@@ -153,6 +181,7 @@ class Engine:
                     break
                 self._raise_deadlock()
             time, kind, payload = choice
+            self.ops_processed += 1
             if kind == "event":
                 _, _, action = heapq.heappop(self._events)
                 action(time)
@@ -219,34 +248,96 @@ class Engine:
     # ------------------------------------------------------------ rank step
 
     def _step(self, rank: _Rank) -> None:
+        if self._lazy_msgs[rank.index]:
+            # the rank is about to execute arbitrary code: snapshot any
+            # in-flight payload it could mutate (copy-on-write boundary)
+            self._materialize_rank(rank.index)
         try:
             value, rank.send_value = rank.send_value, None
-            op = rank.gen.send(value)
+            send = rank.gen.send
+            op = send(value)
+            # Drain consecutive Compute yields without returning to the
+            # global scheduler: they only advance this rank's private
+            # clock, so no other actor can become runnable in between.
+            while type(op) is Compute:
+                seconds = op.seconds
+                if seconds < 0:
+                    raise SimulationError("negative compute time")
+                rank.clock += seconds
+                rank.stats.compute_time += seconds
+                self.ops_processed += 1
+                op = send(None)
         except StopIteration:
             self._finish_rank(rank)
             return
         self._dispatch(rank, op)
 
     def _dispatch(self, rank: _Rank, op: SimOp) -> None:
-        if isinstance(op, Compute):
-            if op.seconds < 0:
-                raise SimulationError("negative compute time")
-            rank.clock += op.seconds
-            rank.stats.compute_time += op.seconds
-        elif isinstance(op, Isend):
-            rank.send_value = self._do_isend(rank, op)
-        elif isinstance(op, Irecv):
-            rank.send_value = self._do_irecv(rank, op)
-        elif isinstance(op, Wait):
-            self._do_wait(rank, op)
-        elif isinstance(op, Barrier):
-            self._do_barrier(rank)
-        elif isinstance(op, LocalCopy):
-            cost = self.network.local_copy_cost(op.nbytes)
-            rank.clock += cost
-            rank.stats.mpi_overhead_time += cost
-        else:
-            raise SimulationError(f"unknown operation {op!r}")
+        handler = self._handlers.get(type(op))
+        if handler is None:
+            for typ, h in self._handlers.items():
+                if isinstance(op, typ):
+                    handler = h
+                    break
+            else:
+                raise SimulationError(f"unknown operation {op!r}")
+        handler(rank, op)
+
+    # ------------------------------------------------------------ handlers
+
+    def _h_compute(self, rank: _Rank, op: Compute) -> None:
+        if op.seconds < 0:
+            raise SimulationError("negative compute time")
+        rank.clock += op.seconds
+        rank.stats.compute_time += op.seconds
+
+    def _h_isend(self, rank: _Rank, op: Isend) -> None:
+        rank.send_value = self._do_isend(rank, op)
+
+    def _h_irecv(self, rank: _Rank, op: Irecv) -> None:
+        rank.send_value = self._do_irecv(rank, op)
+
+    def _h_wait(self, rank: _Rank, op: Wait) -> None:
+        self._do_wait(rank, op)
+
+    def _h_barrier(self, rank: _Rank, op: Barrier) -> None:
+        self._do_barrier(rank)
+
+    def _h_local_copy(self, rank: _Rank, op: LocalCopy) -> None:
+        cost = self.network.local_copy_cost(op.nbytes)
+        rank.clock += cost
+        rank.stats.mpi_overhead_time += cost
+
+    # -------------------------------------------- copy-on-write payloads
+
+    def _materialize_rank(self, index: int) -> None:
+        """Snapshot the still-lazy payloads of one sending rank.
+
+        Called before the rank executes; between a yield and this point
+        the rank has run no code, so the live view still holds the
+        payload exactly as it was when the Isend was posted.
+        """
+        msgs = self._lazy_msgs[index]
+        for msg in msgs:
+            if msg.payload is None and msg.state is not MsgState.DELIVERED:
+                msg.payload = np.asarray(msg.source_view).flatten(order="F")
+        self._lazy_count -= len(msgs)
+        msgs.clear()
+
+    def _materialize_aliasing(self, target: Any) -> None:
+        """Snapshot lazy payloads that overlap a buffer about to be written.
+
+        ``target`` may be an ndarray (checked with shares_memory) or a
+        callable scatter target (unknown memory: snapshot everything).
+        """
+        check = isinstance(target, np.ndarray)
+        for msgs in self._lazy_msgs:
+            for msg in msgs:
+                if msg.payload is not None or msg.state is MsgState.DELIVERED:
+                    continue
+                src = np.asarray(msg.source_view)
+                if not check or np.shares_memory(src, target):
+                    msg.payload = src.flatten(order="F")
 
     def _finish_rank(self, rank: _Rank) -> None:
         if rank.requests:
@@ -264,13 +355,14 @@ class Engine:
     # ---------------------------------------------------------------- isend
 
     def _do_isend(self, rank: _Rank, op: Isend) -> int:
-        # Snapshot the payload as a 1-D array in *column-major* element
-        # order: the mini-Fortran world is column-major throughout, and a
-        # C-order flatten of a multi-dimensional section would silently
-        # transpose the data (receivers reassemble flat payloads in F
-        # order).
-        data = np.asarray(op.data).flatten(order="F")
-        nbytes = int(data.nbytes)
+        # The payload snapshot is *deferred* (copy-on-write): the copy — a
+        # 1-D column-major flatten, because the mini-Fortran world is
+        # column-major throughout and a C-order flatten of a section would
+        # silently transpose the data — happens at the sender's next step,
+        # the first point its buffers can change.  A message consumed
+        # before then is delivered straight from the live view.
+        view = np.asarray(op.data)
+        nbytes = int(view.nbytes)
         cost = self.network.send_cpu_cost(nbytes)
         rank.clock += cost
         rank.stats.mpi_overhead_time += cost
@@ -288,10 +380,12 @@ class Engine:
             dest=op.dest,
             tag=op.tag,
             nbytes=nbytes,
-            payload=data,  # flatten() above already copied
-            source_view=op.data if self.detect_races else None,
+            payload=None,  # snapshot deferred, see _materialize_rank
+            source_view=op.data,
             t_posted=rank.clock,
         )
+        self._lazy_msgs[rank.index].append(msg)
+        self._lazy_count += 1
         # transfer scheduling happens at the rank's post-overhead time, in
         # global time order (the event heap), so NIC allocation is fair
         self._push_event(rank.clock, lambda t, m=msg: self._schedule_transfer(m, t))
@@ -303,14 +397,19 @@ class Engine:
         return handle
 
     def _schedule_transfer(self, msg: Message, now: float) -> None:
+        network = self.network
         start = max(
             now, self._nic_send_free[msg.src], self._nic_recv_free[msg.dest]
         )
-        wire = self.network.wire_time(msg.nbytes)
+        wire = network.wire_time(msg.nbytes)
+        if network.congestion_factor != 1.0 and start > now:
+            # the transfer queued behind a busy NIC: congested fabrics
+            # dilate its wire occupancy (scenario knob, DESIGN.md §4)
+            wire *= network.congestion_factor
         self._nic_send_free[msg.src] = start + wire
         self._nic_recv_free[msg.dest] = start + wire
         msg.t_wire_start = start
-        msg.t_complete = start + wire + self.network.latency
+        msg.t_complete = start + wire + network.msg_latency(msg.nbytes)
 
     def _match_send(self, msg: Message) -> None:
         key = (msg.dest, msg.src, msg.tag)
@@ -408,16 +507,34 @@ class Engine:
         if req.delivered:
             return
         req.delivered = True
-        if callable(req.buffer):
-            req.buffer(msg.payload)
-            return
         target = req.buffer
+        if self._lazy_count:
+            # the write below may overlap another in-flight send's live
+            # buffer: snapshot those first (copy-on-write aliasing guard)
+            self._materialize_aliasing(target)
+        payload = msg.payload
+        if payload is None:
+            src = np.asarray(msg.source_view)
+            if self.detect_races:
+                # keep race-report parity with the eager-snapshot engine:
+                # the sender never ran since the isend, so the live view
+                # still is the isend-time payload — snapshot it for the
+                # comparison at the sender's wait
+                payload = msg.payload = src.flatten(order="F")
+            elif src.flags["F_CONTIGUOUS"]:
+                payload = src.reshape(-1, order="F")  # zero-copy delivery
+            else:
+                payload = src.flatten(order="F")
+        msg.state = MsgState.DELIVERED
+        if callable(target):
+            target(payload)
+            return
         if target.nbytes != msg.nbytes:
             raise SimulationError(
                 f"receive buffer size mismatch: posted {target.nbytes} B, "
                 f"message from rank {msg.src} tag {msg.tag} is {msg.nbytes} B"
             )
-        flat = msg.payload.view(target.dtype)
+        flat = payload.view(target.dtype)
         if target.ndim <= 1:
             np.copyto(target, flat)
         else:
@@ -426,11 +543,16 @@ class Engine:
             np.copyto(target, flat.reshape(target.shape, order="F"))
 
     def _check_send_race(self, msg: Message) -> None:
-        if msg.source_view is None:
+        if not self.detect_races or msg.payload is None:
+            # no snapshot was ever taken: the sender never executed while
+            # the transfer was in flight, so the buffer cannot have raced
             return
-        current = np.asarray(msg.source_view).flatten(order="F")
-        if current.shape != msg.payload.shape or not np.array_equal(
-            current, msg.payload
+        current = np.asarray(msg.source_view)
+        payload = msg.payload
+        # compare through a zero-copy reshape of the F-contiguous snapshot
+        # instead of flattening the live view (which would copy it)
+        if current.size != payload.size or not np.array_equal(
+            current, payload.reshape(current.shape, order="F")
         ):
             self.warnings.append(
                 f"send buffer of rank {msg.src} (tag {msg.tag}, "
@@ -477,9 +599,12 @@ def _completion(req: Any) -> Optional[float]:
 
 def simulate(
     programs: Sequence[RankProgram],
-    network: NetworkModel,
+    network: "NetworkModel | str",
     *,
     detect_races: bool = True,
 ) -> SimResult:
-    """Convenience wrapper: build an :class:`Engine` and run it."""
+    """Convenience wrapper: build an :class:`Engine` and run it.
+
+    ``network`` is a model instance or a registered scenario name.
+    """
     return Engine(programs, network, detect_races=detect_races).run()

@@ -7,8 +7,13 @@ from repro.runtime.network import IDEAL, MPICH_GM, MPICH_P4, PRESETS, NetworkMod
 
 class TestPresets:
     def test_presets_registered(self):
-        assert set(PRESETS) == {"mpich", "mpich-gm", "ideal"}
+        # the classic names survive the registry refactor, plus aliases
+        assert {"mpich", "mpich-gm", "ideal", "hostnet", "gmnet"} <= set(
+            PRESETS
+        )
         assert PRESETS["mpich-gm"] is MPICH_GM
+        assert PRESETS["gmnet"] is MPICH_GM
+        assert PRESETS["hostnet"] is MPICH_P4
 
     def test_gm_offloads(self):
         assert MPICH_GM.offload
