@@ -9,15 +9,19 @@ workload ablation.
 from typing import Callable, Dict
 
 from .base import AppSpec, mix_stages, stage_decls  # noqa: F401
+from .cg import cg_allreduce  # noqa: F401
 from .fft import fft_transpose  # noqa: F401
 from .figure2 import figure2_kernel  # noqa: F401
+from .halo import halo_allgather  # noqa: F401
 from .indirect import indirect_external_kernel, indirect_kernel  # noqa: F401
 from .lu import lu_panel  # noqa: F401
 from .nodeloop import nodeloop_kernel  # noqa: F401
 from .sort import sample_sort_exchange  # noqa: F401
 from .stencil import adi_sweep  # noqa: F401
 
-#: name -> zero-config builder (all builders accept keyword overrides)
+#: name -> zero-config builder (all builders accept keyword overrides).
+#: Apps with ``kind="collective"`` carry no alltoall site — they exist
+#: for the collective-algorithm ablation axis, not the pre-push pipeline.
 APP_BUILDERS: Dict[str, Callable[..., AppSpec]] = {
     "figure2": figure2_kernel,
     "indirect": indirect_kernel,
@@ -27,6 +31,8 @@ APP_BUILDERS: Dict[str, Callable[..., AppSpec]] = {
     "stencil": adi_sweep,
     "lu": lu_panel,
     "nodeloop": nodeloop_kernel,
+    "cg": cg_allreduce,
+    "halo": halo_allgather,
 }
 
 
@@ -53,6 +59,8 @@ __all__ = [
     "adi_sweep",
     "lu_panel",
     "nodeloop_kernel",
+    "cg_allreduce",
+    "halo_allgather",
     "mix_stages",
     "stage_decls",
 ]

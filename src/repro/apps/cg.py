@@ -1,0 +1,83 @@
+"""CG-style iterative kernel — an allreduce-dominated workload.
+
+A conjugate-gradient iteration alternates local sparse mat-vec work with
+global dot products; the dot products are tiny ``MPI_ALLREDUCE`` calls
+whose *latency* (not bandwidth) sits on the critical path every
+iteration.  This is the canonical collective-bound workload class the
+alltoall-centric paper never measures — it exercises the allreduce
+algorithms of the collective registry (recursive doubling vs ring) on
+the opposite end of the message-size spectrum from the transpose codes.
+
+The mat-vec arithmetic is the usual integer mixing chain; the "dot
+products" are exact integer folds so every allreduce algorithm produces
+bit-identical results.  The reduced values feed the next iteration's
+update, so the collective's correctness is load-bearing, and the seed
+mixes ``mynode()`` in so per-rank data (and thus the reduction inputs)
+differ across ranks.
+
+There is no alltoall site here: the app exists for the collective
+ablation axis (``kind="collective"``), not for the pre-push transform.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, mix_stages, require_divisible, stage_decls
+
+
+def cg_allreduce(
+    n: int = 512,
+    nranks: int = 8,
+    steps: int = 8,
+    ndots: int = 4,
+    stages: int = 4,
+) -> AppSpec:
+    """Build the CG-style kernel (``n`` local elements, ``ndots``-element
+    reductions, ``steps`` iterations)."""
+    require_divisible(n, ndots, "cg: local length vs dot-product slots")
+    body = mix_stages(
+        "x(i) * 5 + i * 19 + it * 11 + mynode() * 41",
+        stages,
+        result="x(i)",
+        indent="      ",
+    )
+    source = f"""
+program cgkernel
+  integer, parameter :: n = {n}, nd = {ndots}, nt = {steps}
+  integer :: x(1:n)
+  integer :: dots(1:nd)
+  integer :: gdots(1:nd)
+  integer :: it, i, ierr
+{stage_decls(stages)}
+  do i = 1, n
+    x(i) = mod(i * 17 + mynode() * 31 + 3, 1021)
+  enddo
+  do it = 1, nt
+    do i = 1, n
+{body}    enddo
+    do i = 1, nd
+      dots(i) = 0
+    enddo
+    do i = 1, n
+      dots(mod(i - 1, nd) + 1) = mod(dots(mod(i - 1, nd) + 1) + x(i), 65521)
+    enddo
+    call mpi_allreduce(dots, gdots, nd, 0, ierr)
+    do i = 1, n
+      x(i) = mod(x(i) * 3 + gdots(mod(i - 1, nd) + 1) + it, 32749)
+    enddo
+  enddo
+end program cgkernel
+"""
+    return AppSpec(
+        name="cg",
+        description=(
+            "CG-style iteration: local mat-vec mixing punctuated by tiny "
+            "global allreduce dot products (collective-bound, "
+            "latency-sensitive)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="collective",
+        scheme="-",
+        check_arrays=("x", "gdots"),
+        params={"n": n, "steps": steps, "ndots": ndots, "stages": stages},
+    )

@@ -1,0 +1,79 @@
+"""Allgather halo exchange — a boundary-gather collective workload.
+
+Each rank owns a strip of a 1-D field and publishes its two edge cells
+with ``MPI_ALLGATHER`` every step; the update of each strip's own edges
+reads the *neighbors'* published edges out of the gathered halo table.
+(A production code would use neighbor point-to-point; the gather-all
+formulation is the classic convenience pattern — tiny per-rank blocks,
+``P``-proportional collective volume — and is exactly the shape where
+allgather algorithm choice shows: a ring pipelines the blocks, the
+linear exchange is ``P^2`` messages.)
+
+Interior cells run the integer mixing chain; edge updates consume the
+gathered values, so the collective's data correctness is load-bearing,
+and seeds mix ``mynode()`` so every rank's strip differs.
+
+No alltoall site: registered for the collective ablation axis
+(``kind="collective"``), not for the pre-push transform.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, mix_stages, stage_decls
+
+
+def halo_allgather(
+    n: int = 256,
+    nranks: int = 8,
+    steps: int = 6,
+    stages: int = 4,
+) -> AppSpec:
+    """Build the halo-exchange workload (``n``-cell strip per rank)."""
+    if n < 4:
+        from ..errors import ReproError
+
+        raise ReproError(f"halo: strip length {n} must be >= 4")
+    body = mix_stages(
+        "u(i) * 7 + i * 13 + it * 5 + mynode() * 37",
+        stages,
+        result="u(i)",
+        indent="      ",
+    )
+    source = f"""
+program halogather
+  integer, parameter :: n = {n}, np = {nranks}, nt = {steps}
+  integer :: u(1:n)
+  integer :: edges(1:2)
+  integer :: halo(1:2 * np)
+  integer :: it, i, left, right, ierr
+{stage_decls(stages)}
+  do i = 1, n
+    u(i) = mod(i * 13 + mynode() * 29 + 5, 2039)
+  enddo
+  left = mod(mynode() + np - 1, np)
+  right = mod(mynode() + 1, np)
+  do it = 1, nt
+    edges(1) = u(1)
+    edges(2) = u(n)
+    call mpi_allgather(edges, 2, halo, ierr)
+    do i = 2, n - 1
+{body}    enddo
+    u(1) = mod(u(1) * 3 + halo(left * 2 + 2) + it, 32749)
+    u(n) = mod(u(n) * 3 + halo(right * 2 + 1) + it, 32749)
+  enddo
+end program halogather
+"""
+    return AppSpec(
+        name="halo",
+        description=(
+            "1-D halo exchange via allgather: each step publishes strip "
+            "edges and consumes the neighbors' (tiny blocks, "
+            "P-proportional collective)"
+        ),
+        source=source,
+        nranks=nranks,
+        kind="collective",
+        scheme="-",
+        check_arrays=("u", "halo"),
+        params={"n": n, "steps": steps, "stages": stages},
+    )

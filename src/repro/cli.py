@@ -7,6 +7,7 @@ Subcommands mirror the workflow of the paper's system:
 ``verify``     transform a program and check original/transformed equivalence
 ``apps``       list the built-in workloads (with generated source on demand)
 ``networks``   list the registered network scenarios (the preset registry)
+``collectives`` list the registered collective algorithms (defaults marked)
 ``figure1``    regenerate the paper's Figure 1 table
 ``bench``      run one or all ablation tables
 
@@ -21,14 +22,24 @@ host-driven Ethernet).  Models registered at runtime via
 ``--network`` to re-run any ablation under any scenario and
 ``--processes`` to fan the scenario sweep out over a process pool.
 
+``--collective`` selects collective algorithms from the registry in
+:mod:`repro.runtime.collectives`: a bare algorithm name (``bruck``,
+``ring``, applied to every collective registering it) or explicit
+``collective=algorithm`` pairs (``alltoall=bruck,allreduce=ring``).
+``bench collectives`` sweeps the whole algorithm x network x workload
+axis.
+
 Examples::
 
     compuniformer transform kernel.f90 -K 16 -o kernel_pp.f90
     compuniformer run kernel.f90 -n 8 --network gmnet
+    compuniformer run kernel.f90 -n 8 --collective alltoall=bruck
     compuniformer verify kernel.f90 -n 8 --network rdma-100g
     compuniformer networks
+    compuniformer collectives
     compuniformer figure1 --n 32
     compuniformer bench tile_size --network gm-2rail
+    compuniformer bench workloads --collective ring
     compuniformer bench scenarios --processes 8
 """
 
@@ -41,6 +52,7 @@ from typing import List, Optional
 from .apps import APP_BUILDERS, build_app
 from .errors import ReproError
 from .harness import (
+    ablation_collectives,
     ablation_network,
     ablation_nodeloop,
     ablation_scaling,
@@ -50,6 +62,11 @@ from .harness import (
     bar_chart,
     figure1,
     measure,
+)
+from .runtime.collectives import (
+    COLLECTIVES,
+    default_algorithm,
+    list_algorithms,
 )
 from .runtime.costmodel import DEFAULT_COST_MODEL
 from .runtime.network import get_model, list_models
@@ -63,10 +80,15 @@ _BENCHES = {
     "workloads": ablation_workloads,
     "nodeloop": ablation_nodeloop,
     "scenarios": ablation_scenarios,
+    "collectives": ablation_collectives,
 }
 
 #: benches that accept a ``network=`` keyword (the others sweep their own)
 _BENCHES_WITH_NETWORK = {"tile_size", "scaling", "workloads", "nodeloop"}
+
+#: benches that accept a ``collective=`` keyword ("collectives" sweeps
+#: every registered algorithm itself)
+_BENCHES_WITH_COLLECTIVE = {"tile_size", "scaling", "workloads", "nodeloop"}
 
 
 def _read_source(path: str) -> str:
@@ -87,6 +109,17 @@ def _add_network_arg(p: argparse.ArgumentParser) -> None:
         default="mpich-gm",
         help="registered network scenario (default: mpich-gm); "
         "see 'compuniformer networks'",
+    )
+
+
+def _add_collective_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--collective",
+        default=None,
+        metavar="SPEC",
+        help="collective algorithm: a registered name (e.g. 'bruck', "
+        "'ring') or 'collective=algorithm' pairs; see "
+        "'compuniformer collectives'",
     )
 
 
@@ -124,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("-n", "--nranks", type=int, required=True)
     _add_network_arg(p)
+    _add_collective_arg(p)
 
     p = sub.add_parser(
         "verify", help="transform and check output equivalence (§4)"
@@ -138,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "networks", help="list the registered network scenarios"
+    )
+
+    sub.add_parser(
+        "collectives", help="list the registered collective algorithms"
     )
 
     p = sub.add_parser("figure1", help="regenerate the paper's Figure 1")
@@ -165,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for the 'scenarios' sweep",
     )
+    _add_collective_arg(p)
     return parser
 
 
@@ -200,8 +239,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.nranks,
             get_model(args.network),
             cost_model=DEFAULT_COST_MODEL,
+            collective=args.collective,
         )
         print(f"network:        {m.network}")
+        print(f"collectives:    {m.collective}")
         print(f"makespan:       {m.time:.6g} s")
         print(f"compute (max):  {m.compute_time:.6g} s")
         print(f"wait (max):     {m.wait_time:.6g} s")
@@ -279,12 +320,26 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "collectives":
+        for coll in COLLECTIVES:
+            default = default_algorithm(coll)
+            names = ", ".join(
+                f"{n} (default)" if n == default else n
+                for n in list_algorithms(coll)
+            )
+            print(f"{coll:12s} {names}")
+        return 0
+
     if args.command == "bench":
         names = sorted(_BENCHES) if args.name == "all" else [args.name]
         for name in names:
             kwargs = {}
             if args.network and name in _BENCHES_WITH_NETWORK:
                 kwargs["network"] = args.network
+            if args.network and name == "collectives":
+                kwargs["networks"] = (args.network,)
+            if args.collective and name in _BENCHES_WITH_COLLECTIVE:
+                kwargs["collective"] = args.collective
             if args.processes and name == "scenarios":
                 kwargs["processes"] = args.processes
             print(_BENCHES[name](**kwargs).render())

@@ -3,6 +3,7 @@ and plain-text result tables.
 """
 
 from .figures import (  # noqa: F401
+    ablation_collectives,
     ablation_network,
     ablation_nodeloop,
     ablation_scaling,
@@ -28,6 +29,7 @@ __all__ = [
     "ablation_workloads",
     "ablation_nodeloop",
     "ablation_scenarios",
+    "ablation_collectives",
     "Table",
     "bar_chart",
     "format_seconds",

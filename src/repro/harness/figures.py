@@ -18,12 +18,19 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from ..apps import (
     adi_sweep,
     build_app,
+    cg_allreduce,
     fft_transpose,
     figure2_kernel,
+    halo_allgather,
     indirect_kernel,
     lu_panel,
     nodeloop_kernel,
     sample_sort_exchange,
+)
+from ..runtime.collectives import (
+    CollectiveSpec,
+    default_algorithm,
+    list_algorithms,
 )
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import (
@@ -35,7 +42,7 @@ from ..runtime.network import (
     resolve_model,
 )
 from .report import Table
-from .runner import PairResult, PreparedApp
+from .runner import PairResult, PreparedApp, measure
 
 __all__ = [
     "figure1",
@@ -45,6 +52,7 @@ __all__ = [
     "ablation_workloads",
     "ablation_nodeloop",
     "ablation_scenarios",
+    "ablation_collectives",
 ]
 
 NetworkLike = Union[str, NetworkModel]
@@ -130,6 +138,7 @@ def ablation_tile_size(
     stages: int = 6,
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
+    collective: CollectiveSpec = None,
 ) -> Table:
     """Ablation A: the U-shaped tile-size trade-off (deferred to [3]).
 
@@ -150,7 +159,7 @@ def ablation_tile_size(
     baseline = None
     for k in ks:
         prepared = PreparedApp(app, tile_size=int(k), verify=verify and k == ks[0])
-        pair = prepared.run_on(network)
+        pair = prepared.run_on(network, collective=collective)
         if baseline is None:
             baseline = pair.original.time
         table.add(
@@ -172,6 +181,7 @@ def ablation_scaling(
     stages: int = 6,
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
+    collective: CollectiveSpec = None,
 ) -> Table:
     """Ablation B: cluster-size scaling of the prepush benefit."""
     network = resolve_model(network)
@@ -181,7 +191,9 @@ def ablation_scaling(
     )
     for nranks in nranks_list:
         app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
-        pair = PreparedApp(app, verify=verify).run_on(network)
+        pair = PreparedApp(app, verify=verify).run_on(
+            network, collective=collective
+        )
         table.add(
             nranks, pair.original.time, pair.prepush.time, pair.speedup
         )
@@ -255,6 +267,7 @@ def ablation_workloads(
     sizes: Optional[dict] = None,
     cpu_scale: float = 4.0,
     verify: bool = True,
+    collective: CollectiveSpec = None,
 ) -> Table:
     """Ablation D: prepush across §2's example workload classes.
 
@@ -292,7 +305,9 @@ def ablation_workloads(
     )
     cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
     for app in apps:
-        pair = PreparedApp(app, verify=verify, cost_model=cost).run_on(network)
+        pair = PreparedApp(app, verify=verify, cost_model=cost).run_on(
+            network, collective=collective
+        )
         site = pair.transform.sites[0]
         table.add(
             app.name,
@@ -315,6 +330,7 @@ def ablation_nodeloop(
     network: NetworkLike = MPICH_GM,
     cpu_scale: float = 4.0,
     verify: bool = True,
+    collective: CollectiveSpec = None,
 ) -> Table:
     """Ablation E: the cost of a congested node loop (§3.5).
 
@@ -336,10 +352,10 @@ def ablation_nodeloop(
     )
     interchanged = PreparedApp(
         app, interchange="auto", verify=verify, cost_model=cost
-    ).run_on(network)
+    ).run_on(network, collective=collective)
     congested = PreparedApp(
         app, interchange="never", verify=verify, cost_model=cost
-    ).run_on(network)
+    ).run_on(network, collective=collective)
     base = interchanged.original.time
     table.add("original", "-", base, 1.0)
     table.add(
@@ -444,4 +460,85 @@ def ablation_scenarios(
             t_pp,
             t_orig / t_pp if t_pp > 0 else float("inf"),
         )
+    return table
+
+
+def ablation_collectives(
+    *,
+    networks: Sequence[NetworkLike] = ("hostnet", "gmnet"),
+    nranks: int = 8,
+    fft_n: int = 96,
+    cg_n: int = 256,
+    halo_n: int = 128,
+    steps: int = 2,
+    stages: int = 4,
+    cpu_scale: float = 4.0,
+) -> Table:
+    """Ablation G: the collective-algorithm axis (algorithm x network x
+    workload).
+
+    Sweeps every registered algorithm of each collective over the
+    workload whose traffic it dominates — alltoall variants on the
+    FFT transpose, allreduce variants on the CG kernel, allgather
+    variants on the halo exchange — under each network.  ``vs_default``
+    normalizes to that collective's default algorithm on the same
+    network, so >1 means the alternative schedule is faster.  Algorithms
+    added with :func:`~repro.runtime.collectives.register_algorithm`
+    automatically join the sweep.
+    """
+    workloads = [
+        (
+            "alltoall",
+            fft_transpose(n=fft_n, nranks=nranks, steps=steps, stages=stages),
+        ),
+        (
+            "allreduce",
+            cg_allreduce(n=cg_n, nranks=nranks, steps=steps, stages=stages),
+        ),
+        (
+            "allgather",
+            halo_allgather(n=halo_n, nranks=nranks, steps=steps, stages=stages),
+        ),
+    ]
+    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
+    table = Table(
+        title=(
+            f"Ablation G — collective algorithm sweep (NP={nranks}, "
+            f"{'/'.join(resolve_model(n).name for n in networks)})"
+        ),
+        columns=[
+            "collective",
+            "algorithm",
+            "workload",
+            "network",
+            "time_s",
+            "vs_default",
+        ],
+    )
+    for collective, app in workloads:
+        algorithms = list_algorithms(collective)
+        for network in networks:
+            model = resolve_model(network)
+            times = {
+                algorithm: measure(
+                    app.source,
+                    app.nranks,
+                    model,
+                    cost_model=cost,
+                    externals=app.externals,
+                    label=f"{app.name}/{algorithm}",
+                    collective={collective: algorithm},
+                ).time
+                for algorithm in algorithms
+            }
+            base = times[default_algorithm(collective)]
+            for algorithm in algorithms:
+                table.add(
+                    collective,
+                    algorithm,
+                    app.name,
+                    model.name,
+                    times[algorithm],
+                    base / times[algorithm] if times[algorithm] > 0 else 1.0,
+                )
     return table

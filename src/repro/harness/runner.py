@@ -16,6 +16,7 @@ from ..apps.base import AppSpec
 from ..errors import ReproError
 from ..interp.runner import run_cluster
 from ..lang.ast_nodes import SourceFile
+from ..runtime.collectives import CollectiveSpec, describe_suite, resolve_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import NetworkModel, resolve_model
 from ..transform.prepush import Compuniformer, TransformReport
@@ -24,18 +25,27 @@ from ..verify import compare_runs
 
 @dataclass
 class Measurement:
-    """Timing of one program on one network."""
+    """Timing of one program on one network.
+
+    The communication breakdown (``wait_time``/``mpi_overhead``) is taken
+    from the single worst-communication rank — the rank maximizing
+    ``wait + mpi overhead`` — so ``comm_cost`` is a figure one real rank
+    actually paid, never a mix of maxima from different ranks.
+    ``compute_time`` remains an independent per-rank maximum (the compute
+    critical path).
+    """
 
     label: str
     network: str
     time: float  # makespan (max rank finish time)
     compute_time: float  # max per-rank pure compute
-    wait_time: float  # max per-rank blocked-in-wait
-    mpi_overhead: float  # max per-rank CPU spent inside MPI calls
+    wait_time: float  # blocked-in-wait of the worst-comm-cost rank
+    mpi_overhead: float  # MPI CPU of that same rank
     messages: int  # total messages sent across ranks
     bytes_sent: int
     unexpected: int  # messages that arrived before their recv was posted
     warnings: List[str]
+    collective: str = ""  # resolved collective-algorithm suite
 
     @property
     def comm_cost(self) -> float:
@@ -51,10 +61,14 @@ def measure(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals=None,
     label: str = "",
+    collective: CollectiveSpec = None,
 ) -> Measurement:
     """Simulate once and fold the per-rank stats into a measurement.
 
-    ``network`` may be a model instance or a registered scenario name.
+    ``network`` may be a model instance or a registered scenario name;
+    ``collective`` selects collective algorithms (name, mapping, or
+    ``None`` for the defaults — see
+    :func:`repro.runtime.collectives.resolve_suite`).
     """
     network = resolve_model(network)
     run = run_cluster(
@@ -63,19 +77,29 @@ def measure(
         network,
         cost_model=cost_model,
         externals=externals,
+        collective=collective,
     )
     stats = run.result.stats
+    # the worst-rank communication figure must come from ONE rank: taking
+    # independent maxima of wait and overhead would overstate comm_cost
+    # whenever different ranks hold the two maxima
+    worst = max(
+        stats,
+        key=lambda s: s.wait_time + s.mpi_overhead_time,
+        default=None,
+    )
     return Measurement(
         label=label,
         network=network.name,
         time=run.time,
         compute_time=max((s.compute_time for s in stats), default=0.0),
-        wait_time=max((s.wait_time for s in stats), default=0.0),
-        mpi_overhead=max((s.mpi_overhead_time for s in stats), default=0.0),
+        wait_time=worst.wait_time if worst else 0.0,
+        mpi_overhead=worst.mpi_overhead_time if worst else 0.0,
         messages=sum(s.messages_sent for s in stats),
         bytes_sent=sum(s.bytes_sent for s in stats),
         unexpected=sum(s.unexpected_messages for s in stats),
         warnings=list(run.warnings),
+        collective=describe_suite(resolve_suite(collective)),
     )
 
 
@@ -93,7 +117,10 @@ class PairResult:
     @property
     def speedup(self) -> float:
         if self.prepush.time <= 0:
-            return float("inf")
+            # a degenerate zero-work run is "no change", not an infinite
+            # win; only a real original time over a zero prepush time is
+            # unboundedly better
+            return 1.0 if self.original.time <= 0 else float("inf")
         return self.original.time / self.prepush.time
 
     @property
@@ -163,8 +190,17 @@ class PreparedApp:
                 + "\n  ".join(report.mismatches[:5])
             )
 
-    def run_on(self, network: Union[str, NetworkModel]) -> PairResult:
-        """Measure both variants on one network model (or scenario name)."""
+    def run_on(
+        self,
+        network: Union[str, NetworkModel],
+        collective: CollectiveSpec = None,
+    ) -> PairResult:
+        """Measure both variants on one network model (or scenario name).
+
+        ``collective`` selects the collective algorithms both variants
+        run under (the prepush variant has replaced its alltoall with
+        point-to-point traffic, so the knob mostly moves the original).
+        """
         network = resolve_model(network)
         original = measure(
             self.app.source,
@@ -173,6 +209,7 @@ class PreparedApp:
             cost_model=self.cost_model,
             externals=self.app.externals,
             label=f"{self.app.name}/original",
+            collective=collective,
         )
         prepush = measure(
             self.transform.source,
@@ -181,6 +218,7 @@ class PreparedApp:
             cost_model=self.cost_model,
             externals=self.app.externals,
             label=f"{self.app.name}/prepush",
+            collective=collective,
         )
         return PairResult(
             app=self.app.name,
@@ -200,6 +238,7 @@ def run_pair(
     interchange: str = "auto",
     verify: bool = True,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    collective: CollectiveSpec = None,
 ) -> PairResult:
     """One-shot convenience: prepare + measure on a single network."""
     prepared = PreparedApp(
@@ -209,4 +248,4 @@ def run_pair(
         verify=verify,
         cost_model=cost_model,
     )
-    return prepared.run_on(network)
+    return prepared.run_on(network, collective=collective)

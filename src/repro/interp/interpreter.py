@@ -19,7 +19,16 @@ MPI is intercepted by name:
 
 ====================  ====================================================
 ``mpi_alltoall(as, scount, stype, ar, rcount, rtype, comm, ierr)``
-                      blocking pairwise exchange (the original code's C)
+                      blocking all-to-all exchange (the original code's C;
+                      algorithm from the collective registry)
+``mpi_allreduce(as, ar, count, op, ierr)``
+                      blocking reduction-to-all; ``op`` is an integer code
+                      (0 sum, 1 max, 2 min, 3 prod) and may be omitted
+                      (defaults to sum)
+``mpi_allgather(as, scount, ar, ierr)``
+                      blocking gather-to-all of ``scount`` elements per rank
+``mpi_bcast(buf, count, root, ierr)``
+                      blocking broadcast from rank ``root``
 ``mpi_isend(buf, count, dest, tag, ierr)``
                       non-blocking send of an array/section actual
 ``mpi_irecv(buf, count, source, tag, ierr)``
@@ -93,6 +102,9 @@ Gen = Generator[SimOp, Any, Any]
 
 _MPI_CALLS = {
     "mpi_alltoall",
+    "mpi_allreduce",
+    "mpi_allgather",
+    "mpi_bcast",
     "mpi_isend",
     "mpi_irecv",
     "mpi_waitall",
@@ -544,6 +556,12 @@ class Interpreter:
         name = stmt.name
         if name == "mpi_alltoall":
             yield from self._mpi_alltoall(stmt, frame)
+        elif name == "mpi_allreduce":
+            yield from self._mpi_allreduce(stmt, frame)
+        elif name == "mpi_allgather":
+            yield from self._mpi_allgather(stmt, frame)
+        elif name == "mpi_bcast":
+            yield from self._mpi_bcast(stmt, frame)
         elif name == "mpi_isend":
             yield from self._mpi_isend(stmt, frame)
         elif name == "mpi_irecv":
@@ -578,6 +596,72 @@ class Interpreter:
                 stmt.line,
             )
         yield from self.comm.alltoall(send.flat(), recv.flat())
+
+    def _mpi_allreduce(self, stmt: CallStmt, frame: Frame) -> Gen:
+        from ..runtime.collectives import OP_CODES
+
+        if len(stmt.args) not in (4, 5):
+            raise InterpError(
+                "mpi_allreduce needs (sbuf, rbuf, count[, op], ierr)",
+                stmt.line,
+            )
+        send = self._whole_array(stmt.args[0], frame, stmt.line)
+        recv = self._whole_array(stmt.args[1], frame, stmt.line)
+        count = int(self._eval(stmt.args[2], frame))
+        if count != send.size or count != recv.size:
+            raise InterpError(
+                f"mpi_allreduce count {count} != buffer sizes "
+                f"{send.size}/{recv.size}",
+                stmt.line,
+            )
+        op = "sum"
+        if len(stmt.args) == 5:
+            code = int(self._eval(stmt.args[3], frame))
+            if code not in OP_CODES:
+                raise InterpError(
+                    f"mpi_allreduce op code {code} unknown "
+                    f"(0 sum, 1 max, 2 min, 3 prod)",
+                    stmt.line,
+                )
+            op = OP_CODES[code]
+        yield from self.comm.allreduce(send.flat(), recv.flat(), op=op)
+
+    def _mpi_allgather(self, stmt: CallStmt, frame: Frame) -> Gen:
+        if len(stmt.args) != 4:
+            raise InterpError(
+                "mpi_allgather needs (sbuf, scount, rbuf, ierr)", stmt.line
+            )
+        send = self._whole_array(stmt.args[0], frame, stmt.line)
+        recv = self._whole_array(stmt.args[2], frame, stmt.line)
+        scount = int(self._eval(stmt.args[1], frame))
+        if scount != send.size:
+            raise InterpError(
+                f"mpi_allgather send count {scount} != buffer size "
+                f"{send.size}",
+                stmt.line,
+            )
+        if scount * self.size != recv.size:
+            raise InterpError(
+                f"mpi_allgather recv buffer size {recv.size} != count "
+                f"{scount} * {self.size} ranks",
+                stmt.line,
+            )
+        yield from self.comm.allgather(send.flat(), recv.flat())
+
+    def _mpi_bcast(self, stmt: CallStmt, frame: Frame) -> Gen:
+        if len(stmt.args) != 4:
+            raise InterpError(
+                "mpi_bcast needs (buf, count, root, ierr)", stmt.line
+            )
+        buf = self._whole_array(stmt.args[0], frame, stmt.line)
+        count = int(self._eval(stmt.args[1], frame))
+        if count != buf.size:
+            raise InterpError(
+                f"mpi_bcast count {count} != buffer size {buf.size}",
+                stmt.line,
+            )
+        root = int(self._eval(stmt.args[2], frame))
+        yield from self.comm.bcast(buf.flat(), root=root)
 
     def _mpi_isend(self, stmt: CallStmt, frame: Frame) -> Gen:
         if len(stmt.args) != 5:

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..lang import SourceFile, parse
+from ..runtime.collectives import CollectiveSpec
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.events import SimResult
 from ..runtime.mpi import SimComm
@@ -68,18 +69,21 @@ def run_cluster(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals: Optional[ExternalRegistry] = None,
     detect_races: bool = True,
+    collective: CollectiveSpec = None,
 ) -> ClusterRun:
     """Simulate ``program`` on ``nranks`` ranks over ``network``.
 
     ``network`` is a :class:`~repro.runtime.network.NetworkModel` or the
-    name of a registered scenario (e.g. ``"gmnet"``).
+    name of a registered scenario (e.g. ``"gmnet"``); ``collective``
+    selects collective algorithms the same way (see
+    :func:`repro.runtime.collectives.resolve_suite`).
     """
     network = resolve_model(network)
     source = _as_source(program)
     interps = [
         Interpreter(
             source,
-            comm=SimComm(rank, nranks),
+            comm=SimComm(rank, nranks, collectives=collective),
             cost_model=cost_model,
             externals=externals,
         )
@@ -132,6 +136,7 @@ class ClusterJob:
     detect_races: bool = True
     externals: Optional[ExternalRegistry] = None
     label: str = ""
+    collective: CollectiveSpec = None
 
 
 def _run_job(job: ClusterJob) -> ClusterRun:
@@ -142,6 +147,7 @@ def _run_job(job: ClusterJob) -> ClusterRun:
         cost_model=job.cost_model,
         externals=job.externals,
         detect_races=job.detect_races,
+        collective=job.collective,
     )
 
 

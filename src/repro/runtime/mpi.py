@@ -1,19 +1,24 @@
 """Simulated MPI interface used by rank programs.
 
 :class:`SimComm` exposes the subset of MPI the paper's codes need —
-non-blocking point-to-point, waits, barrier, and ``MPI_ALLTOALL`` — as
-generator methods.  A rank program calls them with ``yield from``::
+non-blocking point-to-point, waits, barrier, and the collectives
+``MPI_ALLTOALL`` / ``MPI_ALLREDUCE`` / ``MPI_ALLGATHER`` / ``MPI_BCAST``
+— as generator methods.  A rank program calls them with ``yield from``::
 
     def program(rank, comm):
         ...
         h = yield from comm.isend(view, dest=1, tag=7)
         yield from comm.wait([h])
 
-``alltoall`` is implemented *on top of* the same isend/irecv/wait
-primitives (pairwise exchange, the classic implementation), so the
-original and pre-pushed programs exercise identical machinery and timing
-differences arise purely from when operations are issued — which is the
-effect the paper measures.
+Collectives are implemented *on top of* the same isend/irecv/wait
+primitives, so the original and pre-pushed programs exercise identical
+machinery and timing differences arise purely from when operations are
+issued — which is the effect the paper measures.  The *algorithm* used
+for each collective comes from the pluggable registry in
+:mod:`repro.runtime.collectives` (pairwise/ring/bruck/scattered
+alltoall, recursive-doubling/ring allreduce, ...), selected per
+communicator via the ``collectives=`` knob; the defaults reproduce the
+classic schedules bit-for-bit.
 
 The class also tracks outstanding send/recv handles so the transformed
 code's ``mpi_waitall_recvs`` / ``mpi_waitall_sends`` / ``mpi_waitall``
@@ -23,26 +28,38 @@ mini-Fortran source.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SimulationError
+from .collectives import CollectiveSpec, get_algorithm, reduce_ufunc, resolve_suite
 from .events import Barrier, Compute, Irecv, Isend, LocalCopy, SimOp, Wait
 
 Gen = Generator[SimOp, Any, Any]
 
 
 class SimComm:
-    """Per-rank communicator for the simulated cluster."""
+    """Per-rank communicator for the simulated cluster.
 
-    def __init__(self, rank: int, size: int) -> None:
+    ``collectives`` selects the algorithm per collective (see
+    :func:`repro.runtime.collectives.resolve_suite` for the accepted
+    forms); ``None`` keeps every default.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        collectives: CollectiveSpec = None,
+    ) -> None:
         if not 0 <= rank < size:
             raise SimulationError(f"invalid rank {rank} of {size}")
         self._rank = rank
         self._size = size
         self._pending_sends: List[int] = []
         self._pending_recvs: List[int] = []
+        self._collectives: Dict[str, str] = resolve_suite(collectives)
 
     # ------------------------------------------------------------- queries
 
@@ -63,6 +80,11 @@ class SimComm:
     @property
     def outstanding_recvs(self) -> int:
         return len(self._pending_recvs)
+
+    @property
+    def collectives(self) -> Dict[str, str]:
+        """The resolved collective-algorithm suite (collective -> name)."""
+        return dict(self._collectives)
 
     # ------------------------------------------------------- point-to-point
 
@@ -118,8 +140,9 @@ class SimComm:
         ``sendbuf``/``recvbuf`` are 1-D views whose length divides evenly
         into ``size`` partitions; partition ``j`` of this rank's sendbuf
         goes to rank ``j``, landing in partition ``rank`` of j's recvbuf.
-        Implemented as a pairwise exchange with the same non-blocking
-        primitives the pre-push transformation emits.
+        Implemented by the registered algorithm (pairwise by default)
+        with the same non-blocking primitives the pre-push transformation
+        emits; an empty per-rank partition skips the self memcpy.
         """
         send = sendbuf.reshape(-1)
         recv = recvbuf.reshape(-1)
@@ -131,26 +154,51 @@ class SimComm:
         part = send.size // self._size
         if recv.size != send.size:
             raise SimulationError("alltoall send/recv sizes differ")
+        algorithm = get_algorithm("alltoall", self._collectives["alltoall"])
+        yield from algorithm(self, send, recv, part)
 
-        handles: List[int] = []
-        tag = _ALLTOALL_TAG
-        for j in range(1, self._size):
-            dest = (self._rank + j) % self._size
-            src = (self._size + self._rank - j) % self._size
-            h_r = yield from self.irecv(
-                recv[src * part : (src + 1) * part], source=src, tag=tag
+    def allreduce(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "sum"
+    ) -> Gen:
+        """Blocking MPI_ALLREDUCE: every rank ends with op over all sendbufs.
+
+        ``op`` is one of ``sum``/``max``/``min``/``prod`` (exact on the
+        integer payloads the workloads use, so every algorithm produces
+        bit-identical results regardless of combination order).
+        """
+        send = sendbuf.reshape(-1)
+        recv = recvbuf.reshape(-1)
+        if recv.size != send.size:
+            raise SimulationError(
+                f"allreduce send/recv sizes differ ({send.size} vs "
+                f"{recv.size})"
             )
-            handles.append(h_r)
-            h_s = yield from self.isend(
-                send[dest * part : (dest + 1) * part], dest=dest, tag=tag
+        ufunc = reduce_ufunc(op)
+        algorithm = get_algorithm("allreduce", self._collectives["allreduce"])
+        yield from algorithm(self, send, recv, ufunc)
+
+    def allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> Gen:
+        """Blocking MPI_ALLGATHER: rank j's sendbuf lands in partition j
+        of every rank's recvbuf."""
+        send = sendbuf.reshape(-1)
+        recv = recvbuf.reshape(-1)
+        if recv.size != send.size * self._size:
+            raise SimulationError(
+                f"allgather recv length {recv.size} != send length "
+                f"{send.size} * {self._size} ranks"
             )
-            handles.append(h_s)
-        # self partition: local memcpy
-        yield LocalCopy(nbytes=int(send[0:part].nbytes))
-        recv[self._rank * part : (self._rank + 1) * part] = send[
-            self._rank * part : (self._rank + 1) * part
-        ]
-        yield from self.wait(handles)
+        algorithm = get_algorithm("allgather", self._collectives["allgather"])
+        yield from algorithm(self, send, recv)
+
+    def bcast(self, buffer: np.ndarray, root: int = 0) -> Gen:
+        """Blocking MPI_BCAST of ``buffer`` from ``root`` to every rank."""
+        if not 0 <= root < self._size:
+            raise SimulationError(
+                f"bcast root {root} out of range for {self._size} ranks"
+            )
+        buf = buffer.reshape(-1)
+        algorithm = get_algorithm("bcast", self._collectives["bcast"])
+        yield from algorithm(self, buf, root)
 
     # ----------------------------------------------------------------- misc
 
@@ -160,8 +208,3 @@ class SimComm:
 
     def local_copy(self, nbytes: int) -> Gen:
         yield LocalCopy(nbytes=nbytes)
-
-
-#: Reserved tag for collective traffic so it never collides with the
-#: tile tags generated by the pre-push transformation (which are >= 0).
-_ALLTOALL_TAG = -1

@@ -1,11 +1,14 @@
 """Measurement runner: PreparedApp, PairResult, and the figure functions
 at miniature sizes (the real sizes run in benchmarks/)."""
 
+import dataclasses
+
 import pytest
 
 from repro.apps import build_app
 from repro.errors import ReproError
 from repro.harness.figures import (
+    ablation_collectives,
     ablation_network,
     ablation_nodeloop,
     ablation_scaling,
@@ -14,6 +17,7 @@ from repro.harness.figures import (
     figure1,
 )
 from repro.harness.runner import PreparedApp, measure, run_pair
+from repro.interp.runner import run_cluster
 from repro.runtime.network import IDEAL, MPICH_GM
 
 
@@ -31,6 +35,37 @@ class TestMeasure:
         assert m.bytes_sent == 4 * 3 * 16 * 8  # part=16 elems of 8 B
         assert m.network == "mpich-gm"
         assert m.comm_cost == m.wait_time + m.mpi_overhead
+
+    def test_comm_cost_is_single_worst_rank(self, small_app):
+        """comm_cost must be max over ranks of (wait + overhead), never a
+        mix of the independent wait maximum and overhead maximum from
+        different ranks."""
+        m = measure(small_app.source, 4, MPICH_GM)
+        stats = run_cluster(
+            small_app.source, 4, MPICH_GM
+        ).result.stats
+        per_rank = [s.wait_time + s.mpi_overhead_time for s in stats]
+        assert m.comm_cost == pytest.approx(max(per_rank))
+        worst = max(
+            stats, key=lambda s: s.wait_time + s.mpi_overhead_time
+        )
+        assert m.wait_time == pytest.approx(worst.wait_time)
+        assert m.mpi_overhead == pytest.approx(worst.mpi_overhead_time)
+        # the buggy aggregation would report at least as much, and
+        # strictly more whenever the maxima live on different ranks
+        mixed = max(s.wait_time for s in stats) + max(
+            s.mpi_overhead_time for s in stats
+        )
+        assert m.comm_cost <= mixed
+
+    def test_measure_records_collective_suite(self, small_app):
+        m = measure(small_app.source, 4, MPICH_GM)
+        assert "alltoall=pairwise" in m.collective
+        m2 = measure(
+            small_app.source, 4, MPICH_GM, collective={"alltoall": "bruck"}
+        )
+        assert "alltoall=bruck" in m2.collective
+        assert m2.time != m.time
 
 
 class TestPreparedApp:
@@ -56,6 +91,30 @@ class TestPreparedApp:
         pair = run_pair(small_app, MPICH_GM, tile_size=4)
         assert pair.speedup == pair.original.time / pair.prepush.time
         assert -5.0 < pair.overhead_reduction <= 1.0
+
+    def test_speedup_degenerate_zero_work(self, small_app):
+        """0/0 (both variants take no virtual time) is 'no change', not
+        an infinite speedup; a real win over zero time stays inf."""
+        pair = run_pair(small_app, MPICH_GM, tile_size=4)
+        zeroed = dataclasses.replace(
+            pair,
+            original=dataclasses.replace(pair.original, time=0.0),
+            prepush=dataclasses.replace(pair.prepush, time=0.0),
+        )
+        assert zeroed.speedup == 1.0
+        real_over_zero = dataclasses.replace(
+            zeroed, original=dataclasses.replace(pair.original, time=2.0)
+        )
+        assert real_over_zero.speedup == float("inf")
+
+    def test_run_on_collective_knob(self, small_app):
+        prepared = PreparedApp(small_app, tile_size=4)
+        default = prepared.run_on(MPICH_GM)
+        bruck = prepared.run_on(MPICH_GM, collective={"alltoall": "bruck"})
+        # the original contains the alltoall: its schedule moves; the
+        # prepush variant replaced it with point-to-point, so it doesn't
+        assert bruck.original.time != default.original.time
+        assert bruck.prepush.time == default.prepush.time
 
 
 class TestFigureFunctionsMiniature:
@@ -116,3 +175,38 @@ class TestFigureFunctionsMiniature:
         ]
         assert t.value("scheme", variant="prepush+interchange") == "A"
         assert t.value("scheme", variant="prepush-congested") == "B"
+
+    def test_ablation_collectives_rows(self):
+        from repro.runtime.collectives import list_algorithms
+
+        t = ablation_collectives(
+            networks=("gmnet",),
+            nranks=4,
+            fft_n=8,
+            cg_n=16,
+            halo_n=8,
+            steps=1,
+            stages=2,
+        )
+        collectives = set(t.column("collective"))
+        assert collectives == {"alltoall", "allreduce", "allgather"}
+        expected_rows = sum(
+            len(list_algorithms(c)) for c in collectives
+        )
+        assert len(t.rows) == expected_rows
+        # the default algorithm normalizes to exactly 1.0 per group
+        defaults = [
+            float(v)
+            for v, a, c in zip(
+                t.column("vs_default"),
+                t.column("algorithm"),
+                t.column("collective"),
+            )
+            if a
+            == {
+                "alltoall": "pairwise",
+                "allreduce": "recursive-doubling",
+                "allgather": "ring",
+            }[c]
+        ]
+        assert all(v == pytest.approx(1.0) for v in defaults)

@@ -40,11 +40,23 @@ def _check(app, tile_size, network=MPICH_GM, interchange="auto"):
     return report, eq
 
 
-@pytest.mark.parametrize("name", sorted(APP_BUILDERS))
+@pytest.mark.parametrize("name", sorted(SMALL))
 def test_every_app_equivalent_auto_k(name):
     app = build_app(name, **SMALL[name])
     report, _ = _check(app, "auto")
     assert report.sites[0].kind.value == app.kind
+
+
+def test_every_transformable_app_is_covered():
+    """SMALL must track APP_BUILDERS: every app except the
+    collective-bound ones (no alltoall site — their correctness is pinned
+    by the cross-algorithm equivalence tests) goes through _check."""
+    transformable = {
+        name
+        for name in APP_BUILDERS
+        if build_app(name).kind != "collective"
+    }
+    assert transformable == set(SMALL)
 
 
 @pytest.mark.parametrize("k", [1, 2, 4, 8])

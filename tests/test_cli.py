@@ -52,6 +52,31 @@ class TestRun:
         out = capsys.readouterr().out
         assert "makespan:" in out
         assert "messages:" in out
+        assert "collectives:" in out
+
+    def test_run_with_collective(self, kernel_file, capsys):
+        rc = main(
+            ["run", str(kernel_file), "-n", "4", "--collective", "bruck"]
+        )
+        assert rc == 0
+        assert "alltoall=bruck" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_collective(self, kernel_file, capsys):
+        rc = main(
+            ["run", str(kernel_file), "-n", "4", "--collective", "quantum"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCollectives:
+    def test_list(self, capsys):
+        assert main(["collectives"]) == 0
+        out = capsys.readouterr().out
+        assert "alltoall" in out
+        assert "pairwise (default)" in out
+        assert "bruck" in out
+        assert "allreduce" in out and "bcast" in out
 
 
 class TestVerify:
