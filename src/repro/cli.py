@@ -10,6 +10,9 @@ Subcommands mirror the workflow of the paper's system:
 ``collectives`` list the registered collective algorithms (defaults marked)
 ``figure1``    regenerate the paper's Figure 1 table
 ``bench``      run one or all ablation tables
+``sweep``      the declarative sweep engine: run figure/ablation sweeps
+               (or a custom/JSON spec) through the content-addressed
+               result cache, optionally sharded over a process pool
 
 Every ``--network`` flag accepts any name from the scenario registry
 (:mod:`repro.runtime.network`): the classic stacks (``hostnet``/``mpich``,
@@ -41,11 +44,24 @@ Examples::
     compuniformer bench tile_size --network gm-2rail
     compuniformer bench workloads --collective ring
     compuniformer bench scenarios --processes 8
+    compuniformer sweep figure1 --cache-dir .sweep-cache --jobs 4
+    compuniformer sweep all --cache-dir .sweep-cache
+    compuniformer sweep --app fft --n 16 --nranks 4 --tile-size 2 \\
+        --tile-size 4 --network gmnet --network rdma-100g -o sweep.json
+    compuniformer sweep --spec myspec.json --no-cache
+
+``sweep`` is the cached path to every figure: the first (cold) run
+simulates and fills ``--cache-dir``; re-runs reproduce the same tables
+bit-identically with **zero** simulations (DESIGN.md §7 defines the
+content-addressed key and its invalidation rules).  ``--jobs N`` shards
+the cold run's simulations over a process pool.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 from typing import List, Optional
 
@@ -204,6 +220,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the 'scenarios' sweep",
     )
     _add_collective_arg(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run figure/ablation (or custom) sweeps through the "
+        "content-addressed result cache",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        choices=sorted(_BENCHES) + ["figure1", "all"],
+        help="figure/ablation to sweep (default: all; ignored with "
+        "--spec/--app)",
+    )
+    p.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON sweep spec (one object or a list; see DESIGN.md §7)",
+    )
+    p.add_argument("--app", help="custom sweep: workload builder name")
+    p.add_argument("--name", help="custom sweep: spec name (default: cli-APP)")
+    p.add_argument("--n", type=int, default=None, help="workload size")
+    p.add_argument(
+        "--nranks",
+        type=int,
+        action="append",
+        default=None,
+        help="rank-count axis value (repeatable)",
+    )
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--stages", type=int, default=None)
+    p.add_argument(
+        "-K",
+        "--tile-size",
+        type=_tile_size,
+        action="append",
+        default=None,
+        help="tile-size axis value (repeatable; default auto)",
+    )
+    p.add_argument(
+        "--variant",
+        action="append",
+        choices=["original", "prepush"],
+        default=None,
+        help="variant axis value (repeatable; default both)",
+    )
+    p.add_argument(
+        "--interchange",
+        action="append",
+        choices=["auto", "never"],
+        default=None,
+        help="interchange axis value (repeatable; default auto)",
+    )
+    p.add_argument(
+        "--network",
+        action="append",
+        choices=list_models(),
+        default=None,
+        help="network axis value (repeatable; default gmnet)",
+    )
+    p.add_argument(
+        "--collective",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="collective axis value (repeatable; default registry defaults)",
+    )
+    p.add_argument(
+        "--cpu-scale",
+        type=float,
+        action="append",
+        default=None,
+        help="cost-model scale axis value (repeatable; default 1.0)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the §4 equivalence check of transformed pairs",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard uncached simulations over this many worker processes",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".compuniformer-cache",
+        help="content-addressed result cache directory "
+        "(default: .compuniformer-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (always simulate)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write a JSON artifact (tables + stats + measurements)",
+    )
     return parser
 
 
@@ -346,7 +464,226 @@ def _dispatch(args: argparse.Namespace) -> int:
             print()
         return 0
 
+    if args.command == "sweep":
+        return _sweep_command(args)
+
     raise ReproError(f"unhandled command {args.command!r}")
+
+
+def _load_spec_file(path: str) -> List["SweepSpec"]:
+    from .harness.sweep import SweepSpec
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read sweep spec {path!r}: {exc}") from None
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not data:
+        raise ReproError(
+            f"sweep spec {path!r} must hold one JSON object or a "
+            "non-empty list of them"
+        )
+    return [SweepSpec.from_dict(item) for item in data]
+
+
+def _custom_spec(args: argparse.Namespace) -> "SweepSpec":
+    from .harness.sweep import SweepSpec
+
+    app_kwargs = {
+        key: value
+        for key, value in (
+            ("n", args.n),
+            ("steps", args.steps),
+            ("stages", args.stages),
+        )
+        if value is not None
+    }
+    return SweepSpec(
+        name=args.name or f"cli-{args.app}",
+        app=args.app,
+        app_kwargs=app_kwargs,
+        nranks=tuple(args.nranks or (8,)),
+        variants=tuple(args.variant or ("original", "prepush")),
+        tile_sizes=tuple(args.tile_size or ("auto",)),
+        interchange=tuple(args.interchange or ("auto",)),
+        networks=tuple(args.network or ("gmnet",)),
+        collectives=tuple(args.collective or (None,)),
+        cpu_scales=tuple(args.cpu_scale or (1.0,)),
+        verify=not args.no_verify,
+    )
+
+
+def _check_figure_flags(args: argparse.Namespace) -> None:
+    """Reject sweep flags no figure target can honor.
+
+    A figure's axes are its own; silently dropping or collapsing a flag
+    would run a different sweep than the one asked for.  Multi-valued
+    and axis-only flags always error here; single-valued flags a
+    specific figure does not accept error in :func:`_figure_kwargs` —
+    only ``all`` forwards flags "where applicable", like ``bench`` does.
+    """
+    rejected = []
+    if args.tile_size:
+        rejected.append("--tile-size/-K")
+    if args.variant:
+        rejected.append("--variant")
+    if args.interchange:
+        rejected.append("--interchange")
+    for flag, values in (
+        ("--nranks", args.nranks),
+        ("--network", args.network),
+        ("--collective", args.collective),
+        ("--cpu-scale", args.cpu_scale),
+    ):
+        if values and len(values) > 1:
+            rejected.append(f"repeated {flag}")
+    if rejected:
+        raise ReproError(
+            f"{', '.join(rejected)} only apply to custom sweeps "
+            "(--app/--spec); figure targets define their own axes"
+        )
+
+
+def _figure_kwargs(fn, args: argparse.Namespace, strict: bool) -> dict:
+    """Forward the sweep flags a figure function actually accepts.
+
+    With ``strict`` (a single named target), a provided flag the figure
+    does not accept is an error rather than a silent no-op.
+    """
+    accepted = inspect.signature(fn).parameters
+    candidates = {
+        "n": ("--n", args.n),
+        "nranks": ("--nranks", args.nranks[0] if args.nranks else None),
+        "steps": ("--steps", args.steps),
+        "stages": ("--stages", args.stages),
+        "cpu_scale": (
+            "--cpu-scale",
+            args.cpu_scale[0] if args.cpu_scale else None,
+        ),
+        "network": ("--network", args.network[0] if args.network else None),
+        "collective": (
+            "--collective",
+            args.collective[0] if args.collective else None,
+        ),
+        "verify": ("--no-verify", False if args.no_verify else None),
+    }
+    provided = {
+        key: (flag, value)
+        for key, (flag, value) in candidates.items()
+        if value is not None
+    }
+    if strict:
+        unusable = [
+            flag for key, (flag, _) in provided.items() if key not in accepted
+        ]
+        if unusable:
+            raise ReproError(
+                f"{', '.join(unusable)} not supported by this figure "
+                f"target (accepted: "
+                f"{', '.join(k for k in provided if k in accepted) or 'none'})"
+            )
+    return {
+        key: value
+        for key, (_, value) in provided.items()
+        if key in accepted
+    }
+
+
+def _table_to_json(table) -> dict:
+    return {
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+    }
+
+
+def _generic_sweep_table(res) -> "Table":
+    from .harness.report import Table
+
+    table = Table(
+        title=f"Sweep — {', '.join(s.name for s in res.specs)}",
+        columns=[
+            "spec",
+            "app",
+            "variant",
+            "NP",
+            "K",
+            "network",
+            "collective",
+            "cpu_scale",
+            "time_s",
+            "comm_s",
+            "messages",
+            "cached",
+        ],
+    )
+    for run in res.runs:
+        m = run.measurement
+        table.add(
+            run.axes["spec"],
+            run.axes["app"],
+            run.axes["variant"],
+            run.axes["nranks"],
+            str(run.axes["tile_size"]),
+            run.axes["network"],
+            run.axes["collective"],
+            run.axes["cpu_scale"],
+            m.time,
+            m.comm_cost,
+            m.messages,
+            "yes" if run.cached else "no",
+        )
+    return table
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    from .harness.sweep import SweepCache, run_sweep
+    from .runtime.simulator import ENGINE_VERSION
+
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    artifact = {"engine": ENGINE_VERSION, "tables": []}
+
+    if args.spec or args.app:
+        if args.spec and args.app:
+            raise ReproError("--spec and --app are mutually exclusive")
+        specs = _load_spec_file(args.spec) if args.spec else [_custom_spec(args)]
+        res = run_sweep(specs, jobs=args.jobs, cache=cache)
+        table = _generic_sweep_table(res)
+        print(table.render())
+        artifact["tables"].append(_table_to_json(table))
+        artifact["result"] = res.to_json()
+        print(f"sweep: {res.stats.summary()}", file=sys.stderr)
+    else:
+        figures = dict(_BENCHES, figure1=figure1)
+        target = args.target or "all"
+        strict = target != "all"
+        _check_figure_flags(args)
+        names = sorted(figures) if target == "all" else [target]
+        for name in names:
+            fn = figures[name]
+            table = fn(
+                cache=cache,
+                jobs=args.jobs,
+                **_figure_kwargs(fn, args, strict),
+            )
+            print(table.render())
+            print()
+            artifact["tables"].append(_table_to_json(table))
+
+    if cache is not None:
+        print(
+            f"cache[{args.cache_dir}]: {cache.stats.summary()}",
+            file=sys.stderr,
+        )
+        artifact["cache"] = vars(cache.stats).copy()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

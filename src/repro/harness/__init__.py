@@ -18,7 +18,17 @@ from .runner import (  # noqa: F401
     PairResult,
     PreparedApp,
     measure,
+    measurement_from_run,
     run_pair,
+)
+from .sweep import (  # noqa: F401
+    CacheStats,
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    collective_label,
+    expand_spec,
+    run_sweep,
 )
 
 __all__ = [
@@ -37,5 +47,13 @@ __all__ = [
     "PairResult",
     "PreparedApp",
     "measure",
+    "measurement_from_run",
     "run_pair",
+    "CacheStats",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
+    "collective_label",
+    "expand_spec",
+    "run_sweep",
 ]

@@ -6,6 +6,15 @@ Danalis et al. [3] — tile size, cluster size, network parameters — and
 two studies of its own design discussions: workload generality (§2's
 example algorithms) and the node-loop interchange (§3.5).
 
+Every function is a thin :class:`~repro.harness.sweep.SweepSpec`
+constructor over the shared sweep engine (:mod:`repro.harness.sweep`):
+it names the axes, lets :func:`~repro.harness.sweep.run_sweep` expand,
+deduplicate, cache, and (optionally) shard the simulations, then folds
+the measurements into a :class:`~repro.harness.report.Table`.  The
+``cache``/``jobs`` keywords thread straight through to the engine — a
+warm cache regenerates every table below bit-identically with zero
+simulations (DESIGN.md §7).
+
 Every function returns a :class:`~repro.harness.report.Table`; the
 benchmark suite renders the tables and asserts their *shape* (who wins,
 roughly by how much) rather than absolute virtual times.
@@ -13,26 +22,14 @@ roughly by how much) rather than absolute virtual times.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
-from ..apps import (
-    adi_sweep,
-    build_app,
-    cg_allreduce,
-    fft_transpose,
-    figure2_kernel,
-    halo_allgather,
-    indirect_kernel,
-    lu_panel,
-    nodeloop_kernel,
-    sample_sort_exchange,
-)
 from ..runtime.collectives import (
     CollectiveSpec,
     default_algorithm,
     list_algorithms,
 )
-from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import (
     MPICH_GM,
     MPICH_P4,
@@ -42,7 +39,7 @@ from ..runtime.network import (
     resolve_model,
 )
 from .report import Table
-from .runner import PairResult, PreparedApp, measure
+from .sweep import SweepCache, SweepSpec, collective_label, run_sweep
 
 __all__ = [
     "figure1",
@@ -56,6 +53,15 @@ __all__ = [
 ]
 
 NetworkLike = Union[str, NetworkModel]
+CacheLike = Union[None, str, Path, SweepCache]
+
+
+def _speedup(original: float, prepush: float) -> float:
+    """original/prepush with the degenerate-zero conventions of
+    :class:`~repro.harness.runner.PairResult`: 0/0 is "no change"."""
+    if prepush <= 0:
+        return 1.0 if original <= 0 else float("inf")
+    return original / prepush
 
 
 def figure1(
@@ -66,6 +72,8 @@ def figure1(
     tile_size: Union[int, str] = "auto",
     cpu_scale: float = 8.0,
     verify: bool = True,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Paper Figure 1: normalized execution time, Original vs Prepush,
     under the host-based stack (MPICH) and the NIC-offload stack (MPICH-GM).
@@ -83,22 +91,20 @@ def figure1(
     transferred element than an integer hash; EXPERIMENTS.md records the
     sensitivity.
     """
-    app = indirect_kernel(n=n, nranks=nranks, stages=stages)
-    prepared = PreparedApp(
-        app,
-        tile_size=tile_size,
+    spec = SweepSpec(
+        name="figure1",
+        app="indirect",
+        app_kwargs={"n": n, "stages": stages},
+        nranks=(nranks,),
+        tile_sizes=(tile_size,),
+        networks=(MPICH_P4, MPICH_GM),
+        cpu_scales=(cpu_scale,),
         verify=verify,
-        cost_model=DEFAULT_COST_MODEL.scaled(cpu_scale),
     )
-    results = [
-        (stack, prepared.run_on(stack))
-        for stack in (MPICH_P4, MPICH_GM)
-    ]
-    times = []
-    for _, pair in results:
-        times.extend([pair.original.time, pair.prepush.time])
-    floor = min(times)
+    res = run_sweep(spec, cache=cache, jobs=jobs)
 
+    times = [r.measurement.time for r in res.runs]
+    floor = min(times)
     table = Table(
         title=(
             "Figure 1 — normalized execution time "
@@ -112,19 +118,22 @@ def figure1(
             "speedup_vs_original",
         ],
     )
-    for stack, pair in results:
-        for variant, m in (("original", pair.original), ("prepush", pair.prepush)):
+    for stack in (MPICH_P4, MPICH_GM):
+        original = res.get(network=stack.name, variant="original")
+        prepush = res.get(network=stack.name, variant="prepush")
+        for variant, run in (("original", original), ("prepush", prepush)):
+            m = run.measurement
             table.add(
                 stack.name,
                 variant,
                 m.time,
                 m.time / floor,
-                pair.original.time / m.time,
+                original.measurement.time / m.time,
             )
         table.notes.append(
-            f"{stack.name}: K={pair.transform.sites[0].tile_size}, "
-            f"{pair.prepush.messages} msgs prepush vs "
-            f"{pair.original.messages} original"
+            f"{stack.name}: K={prepush.transform.sites[0].tile_size}, "
+            f"{prepush.measurement.messages} msgs prepush vs "
+            f"{original.measurement.messages} original"
         )
     return table
 
@@ -139,35 +148,59 @@ def ablation_tile_size(
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation A: the U-shaped tile-size trade-off (deferred to [3]).
 
     Small K → many messages, per-message overhead dominates; large K →
     little overlap left (the last tile's transfer is exposed; K = trip
     degenerates to the original schedule).  The sweep runs the
-    FFT-transpose kernel (scheme A, K unconstrained).
+    FFT-transpose kernel (scheme A, K unconstrained); the engine
+    fingerprint-deduplicates the untransformed baseline, which is the
+    same program at every K.
     """
     network = resolve_model(network)
     if ks is None:
         ks = [k for k in (1, 4, 8, 16, 32, 64, n) if k <= n]
-    app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
+    # dedupe, order-preserving: the default list repeats n when n is a
+    # power of two already listed, and duplicate axis values would make
+    # the per-K result lookup ambiguous
+    ks = list(dict.fromkeys(int(k) for k in ks))
+
+    def spec_for(tiles: Sequence[int], tag: str, check: bool) -> SweepSpec:
+        return SweepSpec(
+            name=f"tile_size-{tag}",
+            app="fft",
+            app_kwargs={"n": n, "steps": steps, "stages": stages},
+            nranks=(nranks,),
+            tile_sizes=tuple(tiles),
+            networks=(network,),
+            collectives=(collective,),
+            verify=check,
+        )
+
+    # only the first K is equivalence-checked (one check pins the
+    # transform; re-verifying per K would only re-run the same §4 proof)
+    specs = [spec_for(ks[:1], "first", verify)]
+    if ks[1:]:
+        specs.append(spec_for(ks[1:], "rest", False))
+    res = run_sweep(specs, cache=cache, jobs=jobs)
+
     table = Table(
         title=f"Ablation A — tile size sweep (fft n={n}, NP={nranks}, "
         f"{network.name})",
         columns=["K", "tiles", "time_s", "speedup", "messages"],
     )
-    baseline = None
+    baseline = res.measurement(variant="original", tile_size=ks[0]).time
     for k in ks:
-        prepared = PreparedApp(app, tile_size=int(k), verify=verify and k == ks[0])
-        pair = prepared.run_on(network, collective=collective)
-        if baseline is None:
-            baseline = pair.original.time
+        run = res.get(variant="prepush", tile_size=k)
         table.add(
-            int(k),
-            pair.transform.sites[0].comm_rounds,
-            pair.prepush.time,
-            baseline / pair.prepush.time,
-            pair.prepush.messages,
+            k,
+            run.transform.sites[0].comm_rounds,
+            run.measurement.time,
+            baseline / run.measurement.time,
+            run.measurement.messages,
         )
     table.notes.append(f"original time: {baseline:.6g} s")
     return table
@@ -182,21 +215,29 @@ def ablation_scaling(
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation B: cluster-size scaling of the prepush benefit."""
     network = resolve_model(network)
+    spec = SweepSpec(
+        name="scaling",
+        app="fft",
+        app_kwargs={"n": n, "steps": steps, "stages": stages},
+        nranks=tuple(nranks_list),
+        networks=(network,),
+        collectives=(collective,),
+        verify=verify,
+    )
+    res = run_sweep(spec, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation B — cluster size sweep (fft n={n}, {network.name})",
         columns=["NP", "time_original_s", "time_prepush_s", "speedup"],
     )
     for nranks in nranks_list:
-        app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
-        pair = PreparedApp(app, verify=verify).run_on(
-            network, collective=collective
-        )
-        table.add(
-            nranks, pair.original.time, pair.prepush.time, pair.speedup
-        )
+        t_orig = res.measurement(variant="original", nranks=nranks).time
+        t_pp = res.measurement(variant="prepush", nranks=nranks).time
+        table.add(nranks, t_orig, t_pp, _speedup(t_orig, t_pp))
     return table
 
 
@@ -227,6 +268,8 @@ def ablation_network(
     steps: int = 1,
     stages: int = 6,
     verify: bool = True,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation C: which network properties the benefit depends on.
 
@@ -236,8 +279,16 @@ def ablation_network(
     advantage, which is exactly why the paper pairs the transformation
     with RDMA-capable interconnects.
     """
-    app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
-    prepared = PreparedApp(app, verify=verify)
+    variants = _network_variants(MPICH_GM)
+    spec = SweepSpec(
+        name="network",
+        app="fft",
+        app_kwargs={"n": n, "steps": steps, "stages": stages},
+        nranks=(nranks,),
+        networks=tuple(model for _, model in variants),
+        verify=verify,
+    )
+    res = run_sweep(spec, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation C — network parameter sweep (fft n={n}, NP={nranks})",
         columns=[
@@ -248,16 +299,29 @@ def ablation_network(
             "speedup",
         ],
     )
-    for label, model in _network_variants(MPICH_GM):
-        pair = prepared.run_on(model)
+    for label, model in variants:
+        t_orig = res.measurement(variant="original", network=model.name).time
+        t_pp = res.measurement(variant="prepush", network=model.name).time
         table.add(
             label,
             "yes" if model.offload else "no",
-            pair.original.time,
-            pair.prepush.time,
-            pair.speedup,
+            t_orig,
+            t_pp,
+            _speedup(t_orig, t_pp),
         )
     return table
+
+
+#: Workload roster of Ablation D: (app builder name, geometry kwargs).
+#: ``sizes`` overrides use the roster key.
+_WORKLOAD_ROSTER: Tuple[Tuple[str, str, dict], ...] = (
+    ("figure2", "figure2", {"n": 4096, "steps": 1, "stages": 6}),
+    ("indirect", "indirect", {"n": 32, "stages": 6}),
+    ("fft", "fft", {"n": 96, "steps": 1, "stages": 6}),
+    ("sort", "sort", {"keys_per_dest": 1024, "steps": 1, "stages": 6}),
+    ("stencil", "stencil", {"n": 96, "steps": 2}),
+    ("lu", "lu", {"n": 96, "steps": 2}),
+)
 
 
 def ablation_workloads(
@@ -268,6 +332,8 @@ def ablation_workloads(
     cpu_scale: float = 4.0,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation D: prepush across §2's example workload classes.
 
@@ -277,20 +343,25 @@ def ablation_workloads(
     """
     network = resolve_model(network)
     sizes = sizes or {}
-    apps = [
-        figure2_kernel(
-            n=sizes.get("figure2", 4096), nranks=nranks, steps=1, stages=6
-        ),
-        indirect_kernel(n=sizes.get("indirect", 32), nranks=nranks, stages=6),
-        fft_transpose(
-            n=sizes.get("fft", 96), nranks=nranks, steps=1, stages=6
-        ),
-        sample_sort_exchange(
-            keys_per_dest=sizes.get("sort", 1024), nranks=nranks, steps=1, stages=6
-        ),
-        adi_sweep(n=sizes.get("stencil", 96), nranks=nranks, steps=2),
-        lu_panel(n=sizes.get("lu", 96), nranks=nranks, steps=2),
-    ]
+    specs = []
+    for key, app_name, kwargs in _WORKLOAD_ROSTER:
+        kwargs = dict(kwargs)
+        size_key = "keys_per_dest" if "keys_per_dest" in kwargs else "n"
+        if key in sizes:
+            kwargs[size_key] = sizes[key]
+        specs.append(
+            SweepSpec(
+                name=f"workloads-{key}",
+                app=app_name,
+                app_kwargs=kwargs,
+                nranks=(nranks,),
+                networks=(network,),
+                collectives=(collective,),
+                cpu_scales=(cpu_scale,),
+                verify=verify,
+            )
+        )
+    res = run_sweep(specs, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation D — workload generality (NP={nranks}, {network.name})",
         columns=[
@@ -303,20 +374,18 @@ def ablation_workloads(
             "speedup",
         ],
     )
-    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
-    for app in apps:
-        pair = PreparedApp(app, verify=verify, cost_model=cost).run_on(
-            network, collective=collective
-        )
-        site = pair.transform.sites[0]
+    for key, _, _ in _WORKLOAD_ROSTER:
+        prepush = res.get(spec=f"workloads-{key}", variant="prepush")
+        original = res.get(spec=f"workloads-{key}", variant="original")
+        site = prepush.transform.sites[0]
         table.add(
-            app.name,
+            prepush.axes["app"],
             site.kind.value,
             site.scheme,
             site.tile_size,
-            pair.original.time,
-            pair.prepush.time,
-            pair.speedup,
+            original.measurement.time,
+            prepush.measurement.time,
+            _speedup(original.measurement.time, prepush.measurement.time),
         )
     return table
 
@@ -331,6 +400,8 @@ def ablation_nodeloop(
     cpu_scale: float = 4.0,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation E: the cost of a congested node loop (§3.5).
 
@@ -341,8 +412,18 @@ def ablation_nodeloop(
     efficiency loss the paper warns about.
     """
     network = resolve_model(network)
-    app = nodeloop_kernel(n=n, nranks=nranks, steps=steps, stages=stages)
-    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
+    spec = SweepSpec(
+        name="nodeloop",
+        app="nodeloop",
+        app_kwargs={"n": n, "steps": steps, "stages": stages},
+        nranks=(nranks,),
+        interchange=("auto", "never"),
+        networks=(network,),
+        collectives=(collective,),
+        cpu_scales=(cpu_scale,),
+        verify=verify,
+    )
+    res = run_sweep(spec, cache=cache, jobs=jobs)
     table = Table(
         title=(
             f"Ablation E — node-loop position (nodeloop n={n}, "
@@ -350,25 +431,23 @@ def ablation_nodeloop(
         ),
         columns=["variant", "scheme", "time_s", "vs_original"],
     )
-    interchanged = PreparedApp(
-        app, interchange="auto", verify=verify, cost_model=cost
-    ).run_on(network, collective=collective)
-    congested = PreparedApp(
-        app, interchange="never", verify=verify, cost_model=cost
-    ).run_on(network, collective=collective)
-    base = interchanged.original.time
+    # the original program is interchange-independent (the knob only
+    # moves the transformed loop nest); the engine deduplicated it
+    base = res.measurement(variant="original", interchange="auto").time
+    interchanged = res.get(variant="prepush", interchange="auto")
+    congested = res.get(variant="prepush", interchange="never")
     table.add("original", "-", base, 1.0)
     table.add(
         "prepush+interchange",
         interchanged.transform.sites[0].scheme,
-        interchanged.prepush.time,
-        base / interchanged.prepush.time,
+        interchanged.measurement.time,
+        base / interchanged.measurement.time,
     )
     table.add(
         "prepush-congested",
         congested.transform.sites[0].scheme,
-        congested.prepush.time,
-        base / congested.prepush.time,
+        congested.measurement.time,
+        base / congested.measurement.time,
     )
     return table
 
@@ -383,6 +462,8 @@ def ablation_scenarios(
     cpu_scale: float = 4.0,
     verify: bool = True,
     processes: Optional[int] = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation F: the prepush benefit across every registered scenario.
 
@@ -393,9 +474,10 @@ def ablation_scenarios(
     study.  ``names=None`` selects every registered model except
     ``ideal`` (which only isolates compute), deduplicating aliases.
 
-    ``processes`` > 1 runs the per-scenario simulations on a process
-    pool via :func:`~repro.interp.runner.run_many` (the sweep is
-    embarrassingly parallel; results are identical either way).
+    ``jobs`` (or the legacy alias ``processes``) > 1 shards the
+    per-scenario simulations over a process pool via
+    :func:`~repro.interp.runner.run_many` (the sweep is embarrassingly
+    parallel; results are identical either way).
     """
     if names is None:
         seen: set = set()
@@ -410,9 +492,16 @@ def ablation_scenarios(
     else:
         models = [get_model(name) for name in names]
 
-    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
-    app = fft_transpose(n=n, nranks=nranks, steps=steps, stages=stages)
-    prepared = PreparedApp(app, verify=verify, cost_model=cost)
+    spec = SweepSpec(
+        name="scenarios",
+        app="fft",
+        app_kwargs={"n": n, "steps": steps, "stages": stages},
+        nranks=(nranks,),
+        networks=tuple(models),
+        cpu_scales=(cpu_scale,),
+        verify=verify,
+    )
+    res = run_sweep(spec, cache=cache, jobs=jobs or processes)
     table = Table(
         title=f"Ablation F — scenario registry sweep (fft n={n}, NP={nranks})",
         columns=[
@@ -424,34 +513,9 @@ def ablation_scenarios(
             "speedup",
         ],
     )
-
-    if processes is not None and processes > 1:
-        from ..interp.runner import ClusterJob, run_many
-
-        jobs = []
-        for model in models:
-            for source in (app.source, prepared.transform.source):
-                jobs.append(
-                    ClusterJob(
-                        program=source,
-                        nranks=app.nranks,
-                        network=model,
-                        cost_model=cost,
-                        externals=app.externals,
-                    )
-                )
-        runs = run_many(jobs, processes=processes)
-        pairs = [
-            (model, runs[2 * i].time, runs[2 * i + 1].time)
-            for i, model in enumerate(models)
-        ]
-    else:
-        pairs = []
-        for model in models:
-            result = prepared.run_on(model)
-            pairs.append((model, result.original.time, result.prepush.time))
-
-    for model, t_orig, t_pp in pairs:
+    for model in models:
+        t_orig = res.measurement(variant="original", network=model.name).time
+        t_pp = res.measurement(variant="prepush", network=model.name).time
         table.add(
             model.name,
             "yes" if model.offload else "no",
@@ -461,6 +525,14 @@ def ablation_scenarios(
             t_orig / t_pp if t_pp > 0 else float("inf"),
         )
     return table
+
+
+#: Ablation G roster: collective -> (app builder, size kwarg name).
+_COLLECTIVE_ROSTER: Tuple[Tuple[str, str], ...] = (
+    ("alltoall", "fft"),
+    ("allreduce", "cg"),
+    ("allgather", "halo"),
+)
 
 
 def ablation_collectives(
@@ -473,6 +545,8 @@ def ablation_collectives(
     steps: int = 2,
     stages: int = 4,
     cpu_scale: float = 4.0,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Ablation G: the collective-algorithm axis (algorithm x network x
     workload).
@@ -486,25 +560,34 @@ def ablation_collectives(
     added with :func:`~repro.runtime.collectives.register_algorithm`
     automatically join the sweep.
     """
-    workloads = [
-        (
-            "alltoall",
-            fft_transpose(n=fft_n, nranks=nranks, steps=steps, stages=stages),
-        ),
-        (
-            "allreduce",
-            cg_allreduce(n=cg_n, nranks=nranks, steps=steps, stages=stages),
-        ),
-        (
-            "allgather",
-            halo_allgather(n=halo_n, nranks=nranks, steps=steps, stages=stages),
-        ),
-    ]
-    cost = DEFAULT_COST_MODEL.scaled(cpu_scale)
+    models = [resolve_model(net) for net in networks]
+    sizes = {"fft": fft_n, "cg": cg_n, "halo": halo_n}
+    specs = []
+    for coll, app_name in _COLLECTIVE_ROSTER:
+        specs.append(
+            SweepSpec(
+                name=f"collectives-{coll}",
+                app=app_name,
+                app_kwargs={
+                    "n": sizes[app_name],
+                    "steps": steps,
+                    "stages": stages,
+                },
+                nranks=(nranks,),
+                variants=("original",),
+                networks=tuple(models),
+                collectives=tuple(
+                    {coll: alg} for alg in list_algorithms(coll)
+                ),
+                cpu_scales=(cpu_scale,),
+                verify=False,
+            )
+        )
+    res = run_sweep(specs, cache=cache, jobs=jobs)
     table = Table(
         title=(
             f"Ablation G — collective algorithm sweep (NP={nranks}, "
-            f"{'/'.join(resolve_model(n).name for n in networks)})"
+            f"{'/'.join(m.name for m in models)})"
         ),
         columns=[
             "collective",
@@ -515,30 +598,25 @@ def ablation_collectives(
             "vs_default",
         ],
     )
-    for collective, app in workloads:
-        algorithms = list_algorithms(collective)
-        for network in networks:
-            model = resolve_model(network)
+    for coll, app_name in _COLLECTIVE_ROSTER:
+        algorithms = list_algorithms(coll)
+        for model in models:
             times = {
-                algorithm: measure(
-                    app.source,
-                    app.nranks,
-                    model,
-                    cost_model=cost,
-                    externals=app.externals,
-                    label=f"{app.name}/{algorithm}",
-                    collective={collective: algorithm},
+                alg: res.measurement(
+                    spec=f"collectives-{coll}",
+                    network=model.name,
+                    collective=collective_label({coll: alg}),
                 ).time
-                for algorithm in algorithms
+                for alg in algorithms
             }
-            base = times[default_algorithm(collective)]
-            for algorithm in algorithms:
+            base = times[default_algorithm(coll)]
+            for alg in algorithms:
                 table.add(
-                    collective,
-                    algorithm,
-                    app.name,
+                    coll,
+                    alg,
+                    app_name,
                     model.name,
-                    times[algorithm],
-                    base / times[algorithm] if times[algorithm] > 0 else 1.0,
+                    times[alg],
+                    base / times[alg] if times[alg] > 0 else 1.0,
                 )
     return table

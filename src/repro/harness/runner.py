@@ -9,12 +9,13 @@ uses.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..apps.base import AppSpec
 from ..errors import ReproError
-from ..interp.runner import run_cluster
+from ..interp.runner import ClusterRun, run_cluster
 from ..lang.ast_nodes import SourceFile
 from ..runtime.collectives import CollectiveSpec, describe_suite, resolve_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -52,6 +53,61 @@ class Measurement:
         """Per-rank non-compute time (wait + MPI CPU), worst rank."""
         return self.wait_time + self.mpi_overhead
 
+    def to_dict(self) -> Dict:
+        """JSON-safe dict (the sweep cache's on-disk payload).
+
+        Every field is a scalar, string, or list of strings; floats
+        round-trip bit-exactly through :mod:`json`, which is what makes
+        warm-cache tables reproduce the cold run bit-for-bit.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Measurement":
+        """Inverse of :meth:`to_dict`.  Raises on missing/extra keys so a
+        corrupted or stale cache entry is detected, not half-loaded."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        if set(data) != names:
+            raise ValueError(
+                f"measurement dict keys {sorted(data)} != fields "
+                f"{sorted(names)}"
+            )
+        return cls(**data)
+
+
+def measurement_from_run(
+    run: ClusterRun,
+    *,
+    network: NetworkModel,
+    label: str = "",
+    collective: CollectiveSpec = None,
+) -> Measurement:
+    """Fold one completed :class:`~repro.interp.runner.ClusterRun` into a
+    :class:`Measurement` (shared by :func:`measure` and the sweep engine,
+    which simulates through :func:`~repro.interp.runner.run_many`)."""
+    stats = run.result.stats
+    # the worst-rank communication figure must come from ONE rank: taking
+    # independent maxima of wait and overhead would overstate comm_cost
+    # whenever different ranks hold the two maxima
+    worst = max(
+        stats,
+        key=lambda s: s.wait_time + s.mpi_overhead_time,
+        default=None,
+    )
+    return Measurement(
+        label=label,
+        network=network.name,
+        time=run.time,
+        compute_time=max((s.compute_time for s in stats), default=0.0),
+        wait_time=worst.wait_time if worst else 0.0,
+        mpi_overhead=worst.mpi_overhead_time if worst else 0.0,
+        messages=sum(s.messages_sent for s in stats),
+        bytes_sent=sum(s.bytes_sent for s in stats),
+        unexpected=sum(s.unexpected_messages for s in stats),
+        warnings=list(run.warnings),
+        collective=describe_suite(resolve_suite(collective)),
+    )
+
 
 def measure(
     program: Union[str, SourceFile],
@@ -79,27 +135,8 @@ def measure(
         externals=externals,
         collective=collective,
     )
-    stats = run.result.stats
-    # the worst-rank communication figure must come from ONE rank: taking
-    # independent maxima of wait and overhead would overstate comm_cost
-    # whenever different ranks hold the two maxima
-    worst = max(
-        stats,
-        key=lambda s: s.wait_time + s.mpi_overhead_time,
-        default=None,
-    )
-    return Measurement(
-        label=label,
-        network=network.name,
-        time=run.time,
-        compute_time=max((s.compute_time for s in stats), default=0.0),
-        wait_time=worst.wait_time if worst else 0.0,
-        mpi_overhead=worst.mpi_overhead_time if worst else 0.0,
-        messages=sum(s.messages_sent for s in stats),
-        bytes_sent=sum(s.bytes_sent for s in stats),
-        unexpected=sum(s.unexpected_messages for s in stats),
-        warnings=list(run.warnings),
-        collective=describe_suite(resolve_suite(collective)),
+    return measurement_from_run(
+        run, network=network, label=label, collective=collective
     )
 
 
@@ -182,7 +219,19 @@ class PreparedApp:
             cost_model=self.cost_model,
             externals=self.app.externals,
         )
-        report = compare_runs(a, b, skip=self.transform.dead_arrays)
+        self.check_equivalence(a, b)
+
+    def check_equivalence(self, original: ClusterRun, transformed: ClusterRun) -> None:
+        """Compare two completed runs of the pair and record the verdict.
+
+        Split out of :meth:`_verify` so the sweep engine can supply runs
+        it executed itself (possibly through the process pool) instead
+        of re-simulating here.  Raises on mismatch, like construction
+        with ``verify=True`` does.
+        """
+        report = compare_runs(
+            original, transformed, skip=self.transform.dead_arrays
+        )
         self.equivalent = report.equivalent
         if not report.equivalent:
             raise ReproError(

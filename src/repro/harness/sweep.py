@@ -1,0 +1,709 @@
+"""Declarative sweep engine with a content-addressed result cache.
+
+The paper's evaluation is a cross-product — workload x transform variant
+x tile size x network scenario x collective algorithm x rank count x
+compute/communication ratio — and every figure used to hand-roll its own
+nested loops.  This module separates the *experiment spec* from the
+*execution engine*:
+
+* :class:`SweepSpec` names the axes; :func:`expand_spec` expands the
+  cross-product into :class:`SweepPoint`\\ s (transforming each workload
+  once per tile/interchange choice, not once per point);
+* :func:`run_sweep` runs every point through the sharded
+  :func:`~repro.interp.runner.run_many` pool, deduplicating points whose
+  content fingerprints coincide (e.g. the untransformed baseline of a
+  tile-size sweep), and folds each run into a
+  :class:`~repro.harness.runner.Measurement`;
+* :class:`SweepCache` stores each measurement on disk keyed by
+  :func:`~repro.interp.runner.job_fingerprint` — the sha-256 of
+  (program text, network parameters, cost model, collective suite, rank
+  count, engine semantic version).  DESIGN.md §3.2 guarantees the
+  simulation is a pure function of exactly that key, so a warm re-run
+  performs **zero simulations** and reproduces bit-identical results.
+
+Every figure/ablation in :mod:`repro.harness.figures` is a thin
+:class:`SweepSpec` constructor over this engine, and the
+``compuniformer sweep`` CLI subcommand drives it from flags or a JSON
+spec file.  See DESIGN.md §7 for the cache-key definition and the
+invalidation rules.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..apps import build_app
+from ..errors import ReproError
+from ..interp.runner import ClusterJob, job_fingerprint, run_many
+from ..lang.ast_nodes import SourceFile
+from ..runtime.collectives import (
+    COLLECTIVES,
+    CollectiveSpec,
+    resolve_suite,
+)
+from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..runtime.network import IDEAL, NetworkModel, resolve_model
+from ..runtime.simulator import ENGINE_VERSION
+from ..transform.prepush import TransformReport
+from .runner import Measurement, PreparedApp, measurement_from_run
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "SweepCache",
+    "CacheStats",
+    "SweepRun",
+    "SweepStats",
+    "SweepResult",
+    "collective_label",
+    "expand_spec",
+    "run_sweep",
+]
+
+NetworkLike = Union[str, NetworkModel]
+
+#: Axis values accepted for the ``variants`` axis.
+VARIANTS = ("original", "prepush")
+
+
+def collective_label(spec: CollectiveSpec) -> str:
+    """Canonical short axis label for a collective choice.
+
+    ``"default"`` when every collective keeps its default algorithm,
+    otherwise the non-default selections as sorted ``collective=name``
+    pairs — so a dict, the CLI string form, and ``None`` that resolve to
+    the same suite always carry the same label.
+    """
+    suite = resolve_suite(spec)
+    defaults = resolve_suite(None)
+    diff = [f"{c}={suite[c]}" for c in COLLECTIVES if suite[c] != defaults[c]]
+    return ",".join(diff) if diff else "default"
+
+
+# ----------------------------------------------------------------- spec
+
+
+@dataclass
+class SweepSpec:
+    """One declarative experiment: a workload crossed with sweep axes.
+
+    Every sequence field is an axis; the expansion is the full
+    cross-product ``nranks x tile_sizes x interchange x cpu_scales x
+    variants x networks x collectives``.  Workload geometry lives in
+    ``app_kwargs`` (passed to the registered app builder together with
+    each ``nranks`` value).
+    """
+
+    name: str
+    app: str
+    app_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    nranks: Sequence[int] = (8,)
+    variants: Sequence[str] = VARIANTS
+    tile_sizes: Sequence[Union[int, str]] = ("auto",)
+    interchange: Sequence[str] = ("auto",)
+    networks: Sequence[NetworkLike] = ("gmnet",)
+    collectives: Sequence[CollectiveSpec] = (None,)
+    cpu_scales: Sequence[float] = (1.0,)
+    base_cost_model: CostModel = DEFAULT_COST_MODEL
+    verify: bool = True
+    detect_races: bool = True
+
+    def __post_init__(self) -> None:
+        unknown = set(self.variants) - set(VARIANTS)
+        if unknown:
+            raise ReproError(
+                f"sweep {self.name!r}: unknown variants {sorted(unknown)}; "
+                f"accepted: {VARIANTS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (network instances become their names)."""
+        return {
+            "name": self.name,
+            "app": self.app,
+            "app_kwargs": dict(self.app_kwargs),
+            "nranks": list(self.nranks),
+            "variants": list(self.variants),
+            "tile_sizes": list(self.tile_sizes),
+            "interchange": list(self.interchange),
+            "networks": [
+                n.name if isinstance(n, NetworkModel) else n
+                for n in self.networks
+            ],
+            "collectives": [
+                dict(c) if isinstance(c, Mapping) else c
+                for c in self.collectives
+            ],
+            "cpu_scales": list(self.cpu_scales),
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a JSON object (the ``--spec`` file format)."""
+        known = {
+            "name",
+            "app",
+            "app_kwargs",
+            "nranks",
+            "variants",
+            "tile_sizes",
+            "interchange",
+            "networks",
+            "collectives",
+            "cpu_scales",
+            "verify",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"sweep spec has unknown keys {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        if "name" not in data or "app" not in data:
+            raise ReproError("sweep spec needs at least 'name' and 'app'")
+        return cls(**{k: data[k] for k in data})
+
+
+@dataclass
+class SweepPoint:
+    """One fully-resolved simulation of a sweep (pre-execution)."""
+
+    axes: Dict[str, Any]
+    program: Union[str, SourceFile]
+    nranks: int
+    network: NetworkModel
+    collective: CollectiveSpec
+    cost_model: CostModel
+    detect_races: bool
+    label: str
+    externals: Any = None
+    transform: Optional[TransformReport] = None
+    fingerprint: Optional[str] = None  # None = uncacheable (externals)
+
+    def job(self) -> ClusterJob:
+        return ClusterJob(
+            program=self.program,
+            nranks=self.nranks,
+            network=self.network,
+            cost_model=self.cost_model,
+            detect_races=self.detect_races,
+            externals=self.externals,
+            label=self.label,
+            collective=self.collective,
+        )
+
+
+@dataclass
+class _Verification:
+    """A pending original/transformed equivalence check of one spec."""
+
+    prepared: PreparedApp
+    original_job: ClusterJob
+    transformed_job: ClusterJob
+    key: Optional[str]  # None = uncacheable (externals)
+
+
+# ---------------------------------------------------------------- cache
+
+
+@dataclass
+class CacheStats:
+    """Accounting of one cache over one or more sweeps."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    verify_hits: int = 0
+    verify_misses: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.corrupt} corrupt, "
+            f"verify {self.verify_hits} hits / {self.verify_misses} misses"
+        )
+
+
+class SweepCache:
+    """Content-addressed on-disk store of sweep results.
+
+    One JSON file per entry, named by its sha-256 key under a two-hex
+    fan-out directory (``ab/abcdef....json``).  Entries are write-once
+    in practice — a key collision means the same simulation inputs,
+    hence (§3.2) the same result — and writes are atomic (tempfile +
+    rename) so a crashed sweep can never leave a half-written entry a
+    later run would trust.  A corrupted or stale entry reads as a miss
+    (counted in :attr:`CacheStats.corrupt`) and is overwritten by the
+    re-simulation.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None`` (miss).
+
+        Unreadable/undecodable/mismatched entries count as ``corrupt``
+        and read as a miss, so the caller falls back to re-simulation.
+        """
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self.stats.corrupt += 1
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically store ``payload`` (annotated with its key)."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(payload, key=key, engine=ENGINE_VERSION)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+
+def _as_cache(
+    cache: Union[None, str, Path, SweepCache]
+) -> Optional[SweepCache]:
+    if cache is None or isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)
+
+
+def _verification_key(
+    prepared: PreparedApp, cost_model: CostModel
+) -> Optional[str]:
+    """Content-address of one equivalence check (None = uncacheable).
+
+    The §4 verdict is a pure function of the two program texts, the rank
+    count, and the cost model under one engine version — the same §3.2
+    argument that makes measurement caching sound.
+    """
+    if prepared.app.externals is not None:
+        return None
+    payload = {
+        "kind": "verify",
+        "engine": ENGINE_VERSION,
+        "original": prepared.app.source,
+        "transformed": prepared.transform.unparse(),
+        "nranks": prepared.app.nranks,
+        "cost": cost_model.canonical_params(),
+        "skip": sorted(prepared.transform.dead_arrays),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------------ expansion
+
+
+def expand_spec(
+    spec: SweepSpec,
+) -> Tuple[List[SweepPoint], List[_Verification]]:
+    """Expand one spec into its cross-product of points.
+
+    Each (nranks, tile, interchange) combination is transformed exactly
+    once and the resulting :class:`TransformReport` is attached to every
+    point it produced (both variants), so figures can read resolved tile
+    sizes and schemes without re-deriving them.  Verification requests
+    (one per transformed pair, when ``spec.verify``) come back separately
+    so :func:`run_sweep` can satisfy them from the cache or shard their
+    simulations into the same pool batch.
+    """
+    points: List[SweepPoint] = []
+    verifications: List[_Verification] = []
+    needs_transform = "prepush" in spec.variants
+    first_cost = spec.base_cost_model.scaled(spec.cpu_scales[0])
+
+    for nr in spec.nranks:
+        app = build_app(spec.app, nranks=nr, **dict(spec.app_kwargs))
+        for tile in spec.tile_sizes:
+            for inter in spec.interchange:
+                prepared: Optional[PreparedApp] = None
+                if needs_transform:
+                    prepared = PreparedApp(
+                        app,
+                        tile_size=tile,
+                        interchange=inter,
+                        verify=False,
+                        cost_model=first_cost,
+                    )
+                    if spec.verify:
+                        verifications.append(
+                            _Verification(
+                                prepared=prepared,
+                                original_job=ClusterJob(
+                                    program=app.source,
+                                    nranks=nr,
+                                    network=IDEAL,
+                                    cost_model=first_cost,
+                                    externals=app.externals,
+                                    label=f"{app.name}/verify-original",
+                                ),
+                                transformed_job=ClusterJob(
+                                    program=prepared.transform.source,
+                                    nranks=nr,
+                                    network=IDEAL,
+                                    cost_model=first_cost,
+                                    externals=app.externals,
+                                    label=f"{app.name}/verify-prepush",
+                                ),
+                                key=_verification_key(prepared, first_cost),
+                            )
+                        )
+                for scale in spec.cpu_scales:
+                    cost = spec.base_cost_model.scaled(scale)
+                    for variant in spec.variants:
+                        program: Union[str, SourceFile]
+                        if variant == "original":
+                            program = app.source
+                        else:
+                            program = prepared.transform.source
+                        for network in spec.networks:
+                            model = resolve_model(network)
+                            for coll in spec.collectives:
+                                points.append(
+                                    SweepPoint(
+                                        axes={
+                                            "spec": spec.name,
+                                            "app": app.name,
+                                            "variant": variant,
+                                            "nranks": nr,
+                                            "tile_size": tile,
+                                            "interchange": inter,
+                                            "network": model.name,
+                                            "collective": collective_label(
+                                                coll
+                                            ),
+                                            "cpu_scale": scale,
+                                        },
+                                        program=program,
+                                        nranks=nr,
+                                        network=model,
+                                        collective=coll,
+                                        cost_model=cost,
+                                        detect_races=spec.detect_races,
+                                        label=f"{app.name}/{variant}",
+                                        externals=app.externals,
+                                        transform=(
+                                            prepared.transform
+                                            if prepared is not None
+                                            else None
+                                        ),
+                                    )
+                                )
+    return points, verifications
+
+
+# ------------------------------------------------------------ execution
+
+
+@dataclass
+class SweepRun:
+    """One executed (or cache-served) sweep point."""
+
+    axes: Dict[str, Any]
+    measurement: Measurement
+    cached: bool
+    fingerprint: Optional[str]
+    transform: Optional[TransformReport] = None
+
+
+@dataclass
+class SweepStats:
+    """How one :func:`run_sweep` call was satisfied."""
+
+    points: int = 0
+    simulated: int = 0  # measurement simulations actually run
+    verify_simulated: int = 0  # verification simulations actually run
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0  # points served by a sibling's fingerprint
+    uncacheable: int = 0  # points with externals (never cached)
+    verify_checks: int = 0
+    verify_hits: int = 0
+    mode: str = "none"  # "pool" | "serial" | "none" (no jobs needed)
+    processes: int = 1
+
+    @property
+    def total_simulated(self) -> int:
+        """Every simulation this invocation ran (zero on a warm cache)."""
+        return self.simulated + self.verify_simulated
+
+    def summary(self) -> str:
+        return (
+            f"{self.points} points: {self.simulated} simulated + "
+            f"{self.verify_simulated} verify sims ({self.mode}), "
+            f"{self.cache_hits} cache hits, "
+            f"{self.deduplicated} deduplicated; verify "
+            f"{self.verify_hits}/{self.verify_checks} cached"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one engine invocation, addressable by axes."""
+
+    runs: List[SweepRun]
+    stats: SweepStats
+    specs: List[SweepSpec]
+
+    def select(self, **axes: Any) -> List[SweepRun]:
+        """Every run whose axes match all given ``key=value`` pairs."""
+        return [
+            r
+            for r in self.runs
+            if all(r.axes.get(k) == v for k, v in axes.items())
+        ]
+
+    def get(self, **axes: Any) -> SweepRun:
+        """The unique run matching ``axes`` (raises otherwise)."""
+        matches = self.select(**axes)
+        if len(matches) != 1:
+            raise ReproError(
+                f"{len(matches)} sweep runs match {axes!r} "
+                f"(of {len(self.runs)})"
+            )
+        return matches[0]
+
+    def measurement(self, **axes: Any) -> Measurement:
+        return self.get(**axes).measurement
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON artifact: specs, execution stats, and every measurement."""
+        return {
+            "engine": ENGINE_VERSION,
+            "specs": [s.to_dict() for s in self.specs],
+            "stats": vars(self.stats).copy(),
+            "runs": [
+                {
+                    "axes": r.axes,
+                    "cached": r.cached,
+                    "fingerprint": r.fingerprint,
+                    "measurement": r.measurement.to_dict(),
+                }
+                for r in self.runs
+            ],
+        }
+
+
+def run_sweep(
+    specs: Union[SweepSpec, Sequence[SweepSpec]],
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[None, str, Path, SweepCache] = None,
+) -> SweepResult:
+    """Execute one or more sweep specs through the shared engine.
+
+    ``jobs`` > 1 shards the simulations over a
+    :func:`~repro.interp.runner.run_many` process pool (verification
+    runs ride in the same batch).  ``cache`` (a directory path or a
+    :class:`SweepCache`) serves previously-simulated points without
+    re-simulating; ``None`` disables caching entirely.  Points whose
+    fingerprints coincide are simulated once per batch regardless of
+    caching.
+    """
+    if isinstance(specs, SweepSpec):
+        specs = [specs]
+    specs = list(specs)
+    cache = _as_cache(cache)
+
+    points: List[SweepPoint] = []
+    verifications: List[_Verification] = []
+    for spec in specs:
+        pts, vers = expand_spec(spec)
+        points.extend(pts)
+        verifications.extend(vers)
+
+    stats = SweepStats(points=len(points))
+
+    # -- fingerprint every point (externals => uncacheable)
+    for point in points:
+        if point.externals is None:
+            point.fingerprint = job_fingerprint(point.job())
+        else:
+            point.fingerprint = None
+            stats.uncacheable += 1
+
+    # -- satisfy what we can from the cache
+    served: Dict[str, Measurement] = {}
+    pending: Dict[str, SweepPoint] = {}  # fingerprint -> representative
+    uncached_points: List[SweepPoint] = []
+    for point in points:
+        fp = point.fingerprint
+        if fp is None:
+            uncached_points.append(point)
+            continue
+        if fp in served or fp in pending:
+            continue
+        payload = cache.get(fp) if cache is not None else None
+        if payload is not None and payload.get("kind") == "measurement":
+            try:
+                served[fp] = Measurement.from_dict(payload["measurement"])
+                cache.stats.hits += 1
+                continue
+            except (TypeError, ValueError, KeyError):
+                cache.stats.corrupt += 1
+        if cache is not None:
+            cache.stats.misses += 1
+        pending[fp] = point
+
+    # -- verification: cache verdicts, simulate the rest in the batch
+    stats.verify_checks = len(verifications)
+    pending_verifications: List[_Verification] = []
+    for ver in verifications:
+        payload = (
+            cache.get(ver.key)
+            if cache is not None and ver.key is not None
+            else None
+        )
+        if (
+            payload is not None
+            and payload.get("kind") == "verify"
+            and payload.get("equivalent") is True
+        ):
+            ver.prepared.equivalent = True
+            stats.verify_hits += 1
+            cache.stats.verify_hits += 1
+        else:
+            if cache is not None and ver.key is not None:
+                cache.stats.verify_misses += 1
+            pending_verifications.append(ver)
+
+    # -- one sharded batch: measurement misses, uncacheable points,
+    #    then verification pairs (submission order is deterministic)
+    batch_jobs: List[ClusterJob] = [
+        replace(pending[fp].job(), label="") for fp in pending
+    ]
+    batch_jobs.extend(p.job() for p in uncached_points)
+    stats.simulated = len(batch_jobs)
+    for ver in pending_verifications:
+        batch_jobs.append(ver.original_job)
+        batch_jobs.append(ver.transformed_job)
+    stats.verify_simulated = 2 * len(pending_verifications)
+
+    if batch_jobs:
+        batch = run_many(batch_jobs, processes=jobs)
+        stats.mode = batch.mode
+        stats.processes = batch.processes
+    else:
+        batch = []
+
+    # -- fold the batch back
+    cursor = 0
+    for fp, point in pending.items():
+        run = batch[cursor]
+        cursor += 1
+        m = measurement_from_run(
+            run, network=point.network, collective=point.collective
+        )
+        served[fp] = m
+        if cache is not None:
+            cache.put(
+                fp,
+                {
+                    "kind": "measurement",
+                    "inputs": dict(point.axes),
+                    "measurement": m.to_dict(),
+                },
+            )
+    uncached_measurements: List[Measurement] = []
+    for point in uncached_points:
+        run = batch[cursor]
+        cursor += 1
+        uncached_measurements.append(
+            measurement_from_run(
+                run,
+                network=point.network,
+                label=point.label,
+                collective=point.collective,
+            )
+        )
+    for ver in pending_verifications:
+        run_a = batch[cursor]
+        run_b = batch[cursor + 1]
+        cursor += 2
+        ver.prepared.check_equivalence(run_a, run_b)  # raises on mismatch
+        if cache is not None and ver.key is not None:
+            cache.put(
+                ver.key,
+                {
+                    "kind": "verify",
+                    "equivalent": True,
+                    "app": ver.prepared.app.name,
+                    "nranks": ver.prepared.app.nranks,
+                },
+            )
+
+    # -- assemble results in point order
+    runs: List[SweepRun] = []
+    uncached_iter = iter(uncached_measurements)
+    hit_fps = {
+        fp for fp in served if fp not in pending
+    }  # served straight from cache
+    seen_fp: set = set()
+    for point in points:
+        fp = point.fingerprint
+        if fp is None:
+            m = next(uncached_iter)
+            cached = False
+        else:
+            m = replace(served[fp], label=point.label)
+            cached = fp in hit_fps
+            if cached:
+                stats.cache_hits += 1
+            elif fp in seen_fp:
+                stats.deduplicated += 1
+            else:
+                stats.cache_misses += 1
+            seen_fp.add(fp)
+        runs.append(
+            SweepRun(
+                axes=point.axes,
+                measurement=m,
+                cached=cached,
+                fingerprint=fp,
+                transform=point.transform,
+            )
+        )
+    return SweepResult(runs=runs, stats=stats, specs=specs)

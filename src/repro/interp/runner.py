@@ -12,24 +12,33 @@ names (:mod:`repro.runtime.network`).
 across a process pool — figure sweeps rerun the same programs over many
 network scenarios, which is embarrassingly parallel.  Each simulation is
 deterministic on its own, so the pool changes wall-clock time only,
-never results.
+never results.  The returned :class:`RunBatch` records whether the pool
+or the serial fallback actually executed (sandboxes without working
+multiprocessing silently degrade, which callers must be able to see).
+
+:func:`job_fingerprint` hashes everything a :class:`ClusterJob`'s
+result depends on — the content-addressed key of the sweep cache
+(DESIGN.md §7).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..lang import SourceFile, parse
-from ..runtime.collectives import CollectiveSpec
+from ..errors import SimulationError
+from ..lang import SourceFile, parse, unparse
+from ..runtime.collectives import CollectiveSpec, canonical_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.events import SimResult
 from ..runtime.mpi import SimComm
 from ..runtime.network import IDEAL, NetworkModel, resolve_model
-from ..runtime.simulator import Engine
+from ..runtime.simulator import ENGINE_VERSION, Engine
 from .interpreter import Interpreter
 from .procedures import ExternalRegistry
 from .values import FArray
@@ -138,6 +147,46 @@ class ClusterJob:
     label: str = ""
     collective: CollectiveSpec = None
 
+    def program_text(self) -> str:
+        """The job's program as source text (unparsing an AST input)."""
+        if isinstance(self.program, SourceFile):
+            return unparse(self.program)
+        return self.program
+
+
+def job_fingerprint(job: ClusterJob) -> str:
+    """Content-address of one simulation: sha-256 over everything the
+    result depends on.
+
+    DESIGN.md §3.2 guarantees a simulation is a pure function of
+    (program text, network parameters, cost model, collective suite,
+    rank count, race detection) under one engine version — so that
+    tuple, canonically serialized, IS the identity of the result.  The
+    sweep cache (§7) keys measurements by this hash.
+
+    Jobs carrying an :class:`ExternalRegistry` embed arbitrary Python
+    callables whose behavior cannot be content-hashed; fingerprinting
+    them raises :class:`~repro.errors.SimulationError` and the sweep
+    engine runs such points uncached instead.
+    """
+    if job.externals is not None:
+        raise SimulationError(
+            f"job {job.label or job.nranks!r} carries an external-procedure "
+            "registry; externals are opaque Python callables and cannot be "
+            "content-hashed (run such jobs uncached)"
+        )
+    payload = {
+        "engine": ENGINE_VERSION,
+        "program": job.program_text(),
+        "nranks": job.nranks,
+        "network": resolve_model(job.network).canonical_params(),
+        "cost": job.cost_model.canonical_params(),
+        "collective": canonical_suite(job.collective),
+        "detect_races": job.detect_races,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
 
 def _run_job(job: ClusterJob) -> ClusterRun:
     return run_cluster(
@@ -164,32 +213,75 @@ def _poolable(jobs: Sequence[ClusterJob]) -> bool:
     return True
 
 
+class RunBatch(List[ClusterRun]):
+    """The results of one :func:`run_many` batch, in submission order.
+
+    A plain list of :class:`ClusterRun` (existing callers index it as
+    before), annotated with how the batch actually executed:
+
+    * ``mode`` — ``"pool"`` (a process pool ran the jobs) or
+      ``"serial"`` (this process ran them in order);
+    * ``reason`` — why the serial path was taken (empty for ``"pool"``);
+    * ``processes`` — worker count actually used (1 for serial).
+
+    The annotation exists because the serial fallback is otherwise
+    invisible: results are bit-identical either way (each simulation is
+    deterministic on its own), so only wall-clock behavior differs —
+    and a caller sizing a sweep needs to know which one it got.
+    """
+
+    def __init__(
+        self,
+        runs: Sequence[ClusterRun] = (),
+        *,
+        mode: str = "serial",
+        reason: str = "",
+        processes: int = 1,
+    ) -> None:
+        super().__init__(runs)
+        self.mode = mode
+        self.reason = reason
+        self.processes = processes
+
+
 def run_many(
     jobs: Sequence[ClusterJob],
     *,
     processes: Optional[int] = None,
-) -> List[ClusterRun]:
+) -> RunBatch:
     """Run independent simulations, optionally on a process pool.
 
     ``processes=None`` (or < 2, or a single job, or unpicklable jobs)
     runs serially in submission order.  Otherwise up to ``processes``
     workers execute the batch; results come back in submission order, so
     output is identical either way — sweeps are deterministic per job.
+    The returned :class:`RunBatch` says which path executed and why.
     """
     jobs = list(jobs)
-    if processes is None or processes < 2 or len(jobs) < 2:
-        return [_run_job(j) for j in jobs]
+
+    def serial(reason: str) -> RunBatch:
+        return RunBatch(
+            [_run_job(j) for j in jobs], mode="serial", reason=reason
+        )
+
+    if processes is None or processes < 2:
+        return serial("no pool requested")
+    if len(jobs) < 2:
+        return serial("batch too small to shard")
     # resolve scenario names to model instances before shipping: a worker
     # under the 'spawn' start method re-imports the registry and would not
     # see models registered at runtime in this process
     shipped = [replace(j, network=resolve_model(j.network)) for j in jobs]
     if not _poolable(shipped):
-        return [_run_job(j) for j in jobs]
+        return serial("jobs not picklable (externals?)")
     from concurrent.futures import ProcessPoolExecutor
 
+    workers = min(processes, len(jobs))
     try:
-        with ProcessPoolExecutor(max_workers=min(processes, len(jobs))) as pool:
-            return list(pool.map(_run_job, shipped))
-    except (OSError, RuntimeError):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return RunBatch(
+                pool.map(_run_job, shipped), mode="pool", processes=workers
+            )
+    except (OSError, RuntimeError) as exc:
         # sandboxes without working multiprocessing fall back to serial
-        return [_run_job(j) for j in jobs]
+        return serial(f"process pool unavailable ({exc.__class__.__name__})")

@@ -11,7 +11,8 @@ harness sweeps explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class CostModel:
             intrinsic=self.intrinsic * factor,
             call_overhead=self.call_overhead * factor,
         )
+
+    def canonical_params(self) -> Dict[str, float]:
+        """Stable, JSON-safe mapping of every cost knob, for the sweep
+        cache fingerprint (DESIGN.md §7).  Field name → float; floats
+        survive a ``json`` round trip bit-exactly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 DEFAULT_COST_MODEL = CostModel()

@@ -66,7 +66,7 @@ absolute values, and the benchmark harness sweeps them (Ablation C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Union
 
 from ..errors import SimulationError
@@ -153,6 +153,17 @@ class NetworkModel:
     def with_(self, **kwargs) -> "NetworkModel":
         """Functional update, for parameter sweeps."""
         return replace(self, **kwargs)
+
+    def canonical_params(self) -> Dict[str, Union[str, int, float, bool, None]]:
+        """Stable, JSON-safe mapping of every model parameter.
+
+        This is the serialization the sweep cache hashes (DESIGN.md §7):
+        plain field name → scalar, no derived values, so two models are
+        fingerprint-equal exactly when every dataclass field matches.
+        Floats round-trip exactly through ``repr`` (what :mod:`json`
+        emits), so the hash is bit-stable across processes and runs.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 #: Host-based stack: TCP-class latency and bandwidth, CPU-driven transfers.

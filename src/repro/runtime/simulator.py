@@ -70,6 +70,15 @@ from .network import NetworkModel, resolve_model
 
 RankProgram = Generator[SimOp, Any, None]
 
+#: Semantic version of the simulation's *timing semantics*.  It is part
+#: of every sweep-cache fingerprint (DESIGN.md §7): cached measurements
+#: are only reusable while the engine maps the same inputs to the same
+#: virtual-time results.  Bump it whenever a change can alter any
+#: ``SimResult`` — cost accounting, tie-breaking, protocol rules — and
+#: leave it alone for pure-speed refactors that §5 guarantees are
+#: timing-neutral.
+ENGINE_VERSION = "3.0"
+
 
 class _Status(Enum):
     READY = "ready"

@@ -28,6 +28,7 @@ from .errors import VerificationError
 from .interp.procedures import ExternalRegistry
 from .interp.runner import ClusterRun, run_cluster
 from .lang.ast_nodes import SourceFile
+from .runtime.collectives import CollectiveSpec
 from .runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from .runtime.network import IDEAL, NetworkModel
 
@@ -159,16 +160,19 @@ def verify_equivalence(
     skip: Sequence[str] = (),
     arrays: Optional[Sequence[str]] = None,
     check: bool = False,
+    collective: CollectiveSpec = None,
 ) -> EquivalenceReport:
     """Run both programs on the simulated cluster and compare results.
 
     ``skip`` names arrays that are expected to legitimately differ (pass
-    ``TransformReport.dead_arrays``).  With ``check=True`` a mismatch
-    raises :class:`~repro.errors.VerificationError` instead of returning a
-    failing report.  In-flight send-buffer modification warnings from the
-    simulator's race detector are treated as mismatches: a transformation
-    that triggers them is unsafe even if the data raced to the right
-    values this time.
+    ``TransformReport.dead_arrays``).  ``collective`` selects the
+    collective algorithms both runs use (the §4 claim must hold whatever
+    schedule implements the original's alltoall).  With ``check=True`` a
+    mismatch raises :class:`~repro.errors.VerificationError` instead of
+    returning a failing report.  In-flight send-buffer modification
+    warnings from the simulator's race detector are treated as
+    mismatches: a transformation that triggers them is unsafe even if
+    the data raced to the right values this time.
     """
     run_a = run_cluster(
         original,
@@ -176,6 +180,7 @@ def verify_equivalence(
         network,
         cost_model=cost_model,
         externals=externals,
+        collective=collective,
     )
     run_b = run_cluster(
         transformed,
@@ -183,6 +188,7 @@ def verify_equivalence(
         network,
         cost_model=cost_model,
         externals=externals,
+        collective=collective,
     )
     report = compare_runs(run_a, run_b, skip=skip, arrays=arrays)
     races = [w for w in run_b.warnings if "in flight" in w]

@@ -140,6 +140,18 @@ class TestFigureFunctionsMiniature:
         assert t.value("tiles", K=1) == 8
         assert t.value("tiles", K=4) == 2
 
+    def test_ablation_tile_size_dedupes_ks(self):
+        """The default ks list repeats n whenever n is itself one of the
+        standard points (e.g. n=8) — duplicates must collapse instead of
+        making the per-K sweep lookup ambiguous."""
+        t = ablation_tile_size(
+            ks=[1, 2, 2, 4], n=8, nranks=4, steps=1, stages=2, verify=False
+        )
+        assert t.column("K") == [1, 2, 4]
+        # the n=power-of-two default list hits the same duplication
+        t = ablation_tile_size(n=8, nranks=4, steps=1, stages=2, verify=False)
+        assert t.column("K") == [1, 4, 8]
+
     def test_ablation_scaling_rows(self):
         t = ablation_scaling(
             nranks_list=(2, 4), n=8, steps=1, stages=2, verify=False

@@ -1,0 +1,83 @@
+"""DESIGN §3.2 determinism regression: the simulation is a pure function
+of its inputs.
+
+The sweep cache's soundness (DESIGN §7) rests entirely on this section:
+two runs of the same :class:`ClusterJob` — in the same process, or
+through the :func:`run_many` process pool — must produce bit-identical
+``SimResult``s: virtual times, per-rank accounting (event counts), and
+final payloads.  These tests pin exactly that, at bit (``==``) rather
+than approximate precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_app
+from repro.interp.runner import ClusterJob, run_cluster, run_many
+from repro.transform.prepush import Compuniformer
+
+
+def assert_runs_bit_identical(a, b):
+    # virtual times
+    assert a.result.time == b.result.time
+    assert a.result.rank_times == b.result.rank_times
+    # event counts and per-rank accounting (RankStats is a dataclass:
+    # == compares every field exactly, including float times)
+    assert a.result.stats == b.result.stats
+    assert a.result.warnings == b.result.warnings
+    # printed records and final payloads
+    assert a.outputs == b.outputs
+    assert len(a.arrays) == len(b.arrays)
+    for rank in range(len(a.arrays)):
+        assert sorted(a.arrays[rank]) == sorted(b.arrays[rank])
+        for name, arr in a.arrays[rank].items():
+            assert np.array_equal(arr, b.arrays[rank][name]), (rank, name)
+
+
+def _jobs():
+    """A job mix covering point-to-point, collectives, and the prepush
+    schedule, on both the offload and host-driven stacks."""
+    fft = build_app("fft", n=8, nranks=4, steps=1, stages=2)
+    prepush = Compuniformer(tile_size=2).transform(fft.source)
+    cg = build_app("cg", n=16, nranks=4, steps=2, stages=2)
+    return [
+        ClusterJob(program=fft.source, nranks=4, network="gmnet"),
+        ClusterJob(program=prepush.source, nranks=4, network="gmnet"),
+        ClusterJob(program=fft.source, nranks=4, network="hostnet",
+                   collective={"alltoall": "bruck"}),
+        ClusterJob(program=cg.source, nranks=4, network="gm-rendezvous"),
+    ]
+
+
+class TestSerialDeterminism:
+    @pytest.mark.parametrize("index", range(4))
+    def test_same_job_twice_is_bit_identical(self, index):
+        job = _jobs()[index]
+        first = run_cluster(
+            job.program,
+            job.nranks,
+            job.network,
+            collective=job.collective,
+        )
+        second = run_cluster(
+            job.program,
+            job.nranks,
+            job.network,
+            collective=job.collective,
+        )
+        assert_runs_bit_identical(first, second)
+
+
+class TestPoolDeterminism:
+    def test_pool_matches_serial_bit_for_bit(self):
+        """The same batch through the process pool (when the sandbox
+        provides one — the serial fallback is equally covered and the
+        batch reports which one ran)."""
+        jobs = _jobs()
+        serial = run_many(jobs, processes=None)
+        assert serial.mode == "serial"
+        pooled = run_many(jobs, processes=2)
+        assert pooled.mode in ("pool", "serial")
+        assert len(pooled) == len(serial)
+        for a, b in zip(serial, pooled):
+            assert_runs_bit_identical(a, b)

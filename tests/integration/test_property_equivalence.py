@@ -1,15 +1,25 @@
 """Property-based §4 check: equivalence over *random* programs in the
 supported pattern family (random geometry, coefficients, tile size, rank
-count).  This is the strongest correctness evidence in the suite — the
-golden tests pin two programs; this pins the family.
+count) x the full runtime registry cross-product (every network
+scenario, every alltoall algorithm).  This is the strongest correctness
+evidence in the suite — the golden tests pin two programs on two
+networks; this pins the family under any registered execution regime:
+the transformed data must match whatever schedule delivers the original
+alltoall and whatever protocol/offload/congestion rules time it.
 """
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.network import MPICH_GM
+from repro.runtime.collectives import list_algorithms
+from repro.runtime.network import get_model, list_models
 from repro.transform import Compuniformer
 from repro.verify import verify_equivalence
+
+#: Strategies over the registries, resolved at import time: models and
+#: algorithms registered by the runtime itself all participate.
+networks = st.sampled_from(sorted(list_models()))
+alltoall_algorithms = st.sampled_from(list_algorithms("alltoall"))
 
 
 def _direct_program(nranks, planes, rows, c1, c2, c3, swap):
@@ -56,9 +66,11 @@ end program randk
     c3=st.integers(0, 20),
     swap=st.booleans(),
     k=st.integers(1, 8),
+    network=networks,
+    algorithm=alltoall_algorithms,
 )
 def test_random_direct_programs_equivalent(
-    nranks, planes, rows, c1, c2, c3, swap, k
+    nranks, planes, rows, c1, c2, c3, swap, k, network, algorithm
 ):
     src = _direct_program(nranks, planes, rows, c1, c2, c3, swap)
     report = Compuniformer(tile_size=min(k, rows)).transform(src)
@@ -71,8 +83,9 @@ def test_random_direct_programs_equivalent(
         src,
         report.source,
         nranks,
-        network=MPICH_GM,
+        network=get_model(network),
         skip=report.dead_arrays,
+        collective={"alltoall": algorithm},
     )
     assert eq.equivalent, eq.mismatches[:5]
 
@@ -118,8 +131,10 @@ end subroutine producer
     n=st.sampled_from([4, 6, 8]),
     nranks=st.sampled_from([2, 4]),
     k=st.integers(1, 8),
+    network=networks,
+    algorithm=alltoall_algorithms,
 )
-def test_random_indirect_programs_equivalent(n, nranks, k):
+def test_random_indirect_programs_equivalent(n, nranks, k, network, algorithm):
     if n % nranks:
         return
     src = _indirect_program(n, nranks)
@@ -129,7 +144,8 @@ def test_random_indirect_programs_equivalent(n, nranks, k):
         src,
         report.source,
         nranks,
-        network=MPICH_GM,
+        network=get_model(network),
         skip=report.dead_arrays,
+        collective={"alltoall": algorithm},
     )
     assert eq.equivalent, eq.mismatches[:5]

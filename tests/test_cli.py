@@ -1,5 +1,7 @@
 """The compuniformer CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -95,3 +97,134 @@ class TestApps:
     def test_print_source(self, capsys):
         assert main(["apps", "fft"]) == 0
         assert "mpi_alltoall" in capsys.readouterr().out
+
+
+class TestSweep:
+    """The sweep subcommand: cached figure regeneration and custom specs."""
+
+    FIGURE_ARGS = [
+        "sweep",
+        "figure1",
+        "--n",
+        "8",
+        "--nranks",
+        "4",
+        "--stages",
+        "2",
+    ]
+
+    def test_figure_target_warm_cache_is_bit_identical(self, tmp_path, capsys):
+        args = self.FIGURE_ARGS + ["--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "Figure 1" in cold.out
+        assert "misses" in cold.err
+
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        # the acceptance criterion: zero simulations, identical tables
+        assert warm.out == cold.out
+        assert "0 misses" in warm.err
+        assert "verify 1 hits" in warm.err
+
+    def test_no_cache_bypasses_a_populated_cache(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "c")]
+        assert main(self.FIGURE_ARGS + cache) == 0
+        capsys.readouterr()
+        assert main(self.FIGURE_ARGS + cache + ["--no-cache"]) == 0
+        res = capsys.readouterr()
+        assert "cache[" not in res.err  # the cache was never consulted
+
+    def test_custom_sweep_with_artifact(self, tmp_path, capsys):
+        out = tmp_path / "art.json"
+        args = [
+            "sweep",
+            "--app",
+            "fft",
+            "--n",
+            "8",
+            "--nranks",
+            "4",
+            "-K",
+            "2",
+            "-K",
+            "4",
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "-o",
+            str(out),
+        ]
+        assert main(args) == 0
+        table = capsys.readouterr().out
+        assert "cli-fft" in table and "prepush" in table
+        artifact = json.loads(out.read_text())
+        assert artifact["cache"]["misses"] > 0
+        runs = artifact["result"]["runs"]
+        assert len(runs) == 4  # 2 tile sizes x 2 variants
+        # warm re-run: artifact reports zero misses and identical values
+        assert main(args) == 0
+        warm = json.loads(out.read_text())
+        assert warm["cache"]["misses"] == 0
+        assert warm["result"]["stats"]["simulated"] == 0
+        for a, b in zip(runs, warm["result"]["runs"]):
+            assert a["measurement"] == b["measurement"]
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = {
+            "name": "from-file",
+            "app": "fft",
+            "app_kwargs": {"n": 8, "steps": 1, "stages": 2},
+            "nranks": [4],
+            "tile_sizes": [4],
+            "networks": ["gmnet"],
+            "verify": False,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["sweep", "--spec", str(path), "--no-cache"]) == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_bad_spec_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"name": "x", "app": "fft", "colour": "red"}')
+        assert main(["sweep", "--spec", str(path), "--no-cache"]) == 1
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_spec_and_app_conflict(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        rc = main(
+            ["sweep", "--spec", str(path), "--app", "fft", "--no-cache"]
+        )
+        assert rc == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_figure_target_rejects_axis_flags(self, capsys):
+        """Flags a figure target cannot honor must error, not silently
+        run a different sweep than the one asked for."""
+        rc = main(["sweep", "figure1", "-K", "4", "--no-cache"])
+        assert rc == 1
+        assert "custom sweeps" in capsys.readouterr().err
+
+        rc = main(
+            [
+                "sweep",
+                "figure1",
+                "--network",
+                "gmnet",
+                "--network",
+                "hostnet",
+                "--no-cache",
+            ]
+        )
+        assert rc == 1
+        assert "repeated --network" in capsys.readouterr().err
+
+    def test_figure_target_rejects_unaccepted_flag(self, capsys):
+        # ablation_scenarios sweeps every scenario itself: a single
+        # --network cannot be honored and must not be dropped
+        rc = main(
+            ["sweep", "scenarios", "--network", "gmnet", "--no-cache"]
+        )
+        assert rc == 1
+        assert "--network not supported" in capsys.readouterr().err
