@@ -10,18 +10,18 @@ the sweet spot — exactly the tuning loop a user of the tool would run.
 Run:  python examples/fft_transpose.py
 """
 
+from repro import CompareRequest, Session
 from repro.apps import fft_transpose
 from repro.harness import Table, format_seconds
-from repro.harness.runner import PreparedApp
-from repro.runtime.network import MPICH_GM
 
 
 def main() -> None:
+    session = Session(network="gmnet")
     app = fft_transpose(n=96, nranks=8, steps=1, stages=6)
     print(f"workload: {app.description}\n")
 
     # show what the tool does to it
-    prepared = PreparedApp(app, tile_size=8)
+    prepared = session.prepare(CompareRequest(app=app, tile_size=8))
     site = prepared.transform.sites[0]
     print(
         f"transformed: {site.kind.value} pattern, scheme {site.scheme}, "
@@ -47,7 +47,9 @@ def main() -> None:
     )
     base = None
     for k in (1, 2, 4, 8, 16, 32, 64):
-        pair = PreparedApp(app, tile_size=k, verify=False).run_on(MPICH_GM)
+        pair = session.compare(
+            CompareRequest(app=app, tile_size=k, verify=False)
+        )
         if base is None:
             base = pair.original.time
         table.add(k, format_seconds(pair.prepush.time), base / pair.prepush.time)

@@ -16,6 +16,7 @@ reproduce the paper's shapes, are what EXPERIMENTS.md records.
 
 import sys
 
+from repro import Session
 from repro.harness import (
     ablation_network,
     ablation_nodeloop,
@@ -36,7 +37,15 @@ def main() -> None:
             "U-curve). Run without --fast for the EXPERIMENTS.md shapes.\n"
         )
 
-    fig1 = figure1(n=16 if fast else 32, nranks=8, stages=6, verify=not fast)
+    # one Session drives every figure: shared registries, one engine
+    session = Session()
+    fig1 = figure1(
+        n=16 if fast else 32,
+        nranks=8,
+        stages=6,
+        verify=not fast,
+        session=session,
+    )
     print(fig1.render())
     print()
     labels = [f"{r[0]}/{r[1]}" for r in fig1.rows]
@@ -44,7 +53,7 @@ def main() -> None:
     print(bar_chart(labels, values, unit="x normalized"))
     print()
 
-    kwargs = dict(verify=not fast)
+    kwargs = dict(verify=not fast, session=session)
     if fast:
         size = dict(n=32, steps=1, stages=4)
         print(ablation_tile_size(ks=[1, 4, 8, 32], **size, **kwargs).render())

@@ -3,21 +3,21 @@
 
 Walks the complete workflow on a matrix-transpose kernel (the 2-D shape
 of the paper's motivating workloads — the generated communication is the
-paper's Figure 4 pairwise exchange, fired once per tile of rows):
+paper's Figure 4 pairwise exchange, fired once per tile of rows),
+driven entirely through the typed :class:`repro.Session` façade:
 
 1. write a mini-Fortran MPI program (compute nest + MPI_ALLTOALL),
-2. run the Compuniformer on it and read the site report,
-3. print the transformed source,
-4. check §4-style output equivalence on the simulated cluster,
-5. measure both variants on the MPICH-GM (NIC offload) network model.
+2. open a Session on the MPICH-GM (NIC offload) network model,
+3. ``session.verify(...)``: transform, read the site report, and check
+   §4-style output equivalence on the simulated cluster in one call,
+4. print the transformed source,
+5. ``session.measure(Job(...))`` both variants and compare timings.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Compuniformer, verify_equivalence
+from repro import Job, Session, VerifyRequest
 from repro.harness import format_seconds
-from repro.harness.runner import measure
-from repro.runtime.network import MPICH_GM
 
 SOURCE = """
 program quickstart
@@ -42,32 +42,36 @@ end program quickstart
 
 
 def main() -> None:
-    # --- 1+2: transform --------------------------------------------------
-    tool = Compuniformer(tile_size=16)
-    report = tool.transform(SOURCE)
+    # --- 2: one front door; "gmnet" resolves in the scenario registry ----
+    session = Session(network="gmnet")
+
+    # --- 3: transform + §4 correctness criterion in one call -------------
+    result = session.verify(
+        VerifyRequest(program=SOURCE, nranks=8, tile_size=16)
+    )
     print("== transformation report ==")
-    print(report.describe())
+    print(result.transform.describe())
     print()
 
-    # --- 3: the pre-pushed program (paper Figure 4 inside the guard) -----
+    # --- 4: the pre-pushed program (paper Figure 4 inside the guard) -----
     print("== transformed source ==")
-    print(report.unparse())
+    print(result.transform.unparse())
 
-    # --- 4: §4 correctness criterion --------------------------------------
-    equivalence = verify_equivalence(
-        SOURCE, report.source, nranks=8, network=MPICH_GM
-    )
-    assert equivalence.equivalent, equivalence.mismatches
+    assert result.equivalent, result.equivalence.mismatches
     print("== equivalence ==")
     print(
         f"original and transformed programs agree on "
-        f"{', '.join(equivalence.compared_arrays)}"
+        f"{', '.join(result.equivalence.compared_arrays)}"
     )
     print()
 
     # --- 5: timing on the offload network ---------------------------------
-    original = measure(SOURCE, 8, MPICH_GM, label="original")
-    prepush = measure(report.source, 8, MPICH_GM, label="prepush")
+    original = session.measure(
+        Job(program=SOURCE, nranks=8, label="original")
+    )
+    prepush = session.measure(
+        Job(program=result.transform.source, nranks=8, label="prepush")
+    )
     print("== virtual timing on mpich-gm ==")
     print(f"original: {format_seconds(original.time)}")
     print(f"prepush:  {format_seconds(prepush.time)}")

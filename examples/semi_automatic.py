@@ -15,12 +15,11 @@ must *query the user*.  This example shows the whole loop:
 Run:  python examples/semi_automatic.py
 """
 
+from repro import Session, VerifyRequest
 from repro.analysis.callinfo import DictOracle, RecordingOracle
 from repro.apps import indirect_external_kernel
 from repro.runtime.costmodel import DEFAULT_COST_MODEL
 from repro.transform import Compuniformer
-from repro.verify import verify_equivalence
-from repro.runtime.network import MPICH_GM
 
 #: the figure-1 regime: producer work comparable to 2005-era kernels
 COST = DEFAULT_COST_MODEL.scaled(8.0)
@@ -34,9 +33,20 @@ def main() -> None:
     print()
 
     # --- the user answers "producer writes its 2nd argument" -------------
+    # one Session.verify call transforms (querying the oracle) and runs
+    # the §4 equivalence check on the simulated cluster
+    session = Session(network="gmnet", cost_model=COST)
     oracle = RecordingOracle(DictOracle({"producer": {1}}))
-    tool = Compuniformer(tile_size=4, oracle=oracle)
-    report = tool.transform(app.source)
+    result = session.verify(
+        VerifyRequest(
+            program=app.source,
+            nranks=app.nranks,
+            tile_size=4,
+            oracle=oracle,
+            externals=app.externals,
+        )
+    )
+    report = result.transform
 
     print("== user queries the analysis needed ==")
     for q in oracle.queries:
@@ -50,19 +60,10 @@ def main() -> None:
     print(report.describe())
     print()
 
-    equivalence = verify_equivalence(
-        app.source,
-        report.source,
-        app.nranks,
-        network=MPICH_GM,
-        externals=app.externals,
-        skip=report.dead_arrays,
-        cost_model=COST,
-    )
-    assert equivalence.equivalent, equivalence.mismatches
+    assert result.equivalent, result.equivalence.mismatches
     print(
         f"equivalent: yes   "
-        f"(speedup on mpich-gm: {equivalence.speedup:.3f}x)"
+        f"(speedup on mpich-gm: {result.speedup:.3f}x)"
     )
     print()
 

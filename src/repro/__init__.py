@@ -1,6 +1,6 @@
 """repro — reproduction of *An Automated Approach to Improve
 Communication-Computation Overlap in Clusters* (Fishgold, Danalis,
-Pollock, Swany; ParCo 2005).
+Pollock, Swany; IPDPS 2006).
 
 The package implements the paper's **Compuniformer** source-to-source
 transformer for a mini-Fortran MPI subset, together with every substrate
@@ -13,27 +13,58 @@ cluster (:mod:`repro.interp`), the §2 example workloads
 (:mod:`repro.apps`), and the experiment harness regenerating the paper's
 figure and the deferred ablations (:mod:`repro.harness`).
 
+All of it is driven through one front door, the typed
+:class:`~repro.api.Session` façade (:mod:`repro.api`), which resolves
+registry names once, owns the content-addressed result cache, and keeps
+a persistent process pool across calls.
+
 Quickstart::
 
-    from repro import Compuniformer, verify_transform
+    from repro import Job, Session
 
-    report = Compuniformer(tile_size=16).transform(source_text)
-    print(report.unparse())                 # the pre-pushed program
-    eq, _ = verify_transform(source_text, nranks=8)
-    assert eq.equivalent
+    session = Session(network="gmnet")
+    result = session.verify(source_text)    # transform + §4 equivalence
+    assert result.equivalent
+    print(result.transform.unparse())       # the pre-pushed program
+
+    original = session.measure(Job(program=source_text, nranks=8))
+    prepush = session.measure(
+        Job(program=result.transform.source, nranks=8)
+    )
+    print(f"speedup {original.time / prepush.time:.2f}x")
 """
 
+from .api import (  # noqa: F401
+    UNSET,
+    CompareRequest,
+    ExecutionContext,
+    Job,
+    Session,
+    VerifyRequest,
+    VerifyResult,
+    default_session,
+)
 from .errors import (  # noqa: F401
     AnalysisError,
     DeadlockError,
+    InterchangeError,
     InterpError,
+    LexError,
+    NotAffineError,
     ParseError,
+    PatternError,
     ReproError,
     SimulationError,
+    SourceError,
     TransformError,
     VerificationError,
 )
 from .lang import parse, unparse  # noqa: F401
+from .runtime.collectives import (  # noqa: F401
+    list_algorithms,
+    register_algorithm,
+)
+from .runtime.network import list_models, register_model  # noqa: F401
 from .transform.prepush import (  # noqa: F401
     Compuniformer,
     SiteReport,
@@ -49,19 +80,41 @@ from .verify import (  # noqa: F401
 __version__ = "0.1.0"
 
 __all__ = [
+    # the typed façade (repro.api)
+    "Session",
+    "ExecutionContext",
+    "Job",
+    "CompareRequest",
+    "VerifyRequest",
+    "VerifyResult",
+    "UNSET",
+    "default_session",
+    # transformation
     "Compuniformer",
     "TransformReport",
     "SiteReport",
     "prepush",
     "parse",
     "unparse",
+    # verification
     "verify_equivalence",
     "verify_transform",
     "EquivalenceReport",
+    # registries
+    "list_models",
+    "register_model",
+    "list_algorithms",
+    "register_algorithm",
+    # the full error hierarchy
     "ReproError",
+    "SourceError",
+    "LexError",
     "ParseError",
     "AnalysisError",
+    "NotAffineError",
+    "PatternError",
     "TransformError",
+    "InterchangeError",
     "InterpError",
     "SimulationError",
     "DeadlockError",

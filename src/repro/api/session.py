@@ -1,0 +1,358 @@
+"""The :class:`Session` façade — one front door to the whole pipeline.
+
+Everything the paper's workflow does (pre-push transformation, virtual-
+cluster simulation, §4 equivalence checking, declarative sweeps) is
+reachable through one object::
+
+    from repro import Job, Session
+
+    with Session(network="gmnet", cache_dir=".cache", jobs=4) as s:
+        m = s.measure(Job(program=source, nranks=8))
+        result = s.verify(source)           # transform + §4 check
+        table_res = s.sweep(spec)           # cached, pooled
+
+A Session resolves registry *names* (network scenario, collective
+algorithms) exactly once, at construction; owns the content-addressed
+:class:`~repro.harness.sweep.SweepCache`; and lazily creates one
+persistent process pool reused by every :meth:`run_many` / :meth:`sweep`
+call.  That amortization is what makes the library embeddable in a
+long-lived server: per-request cost is the simulation itself, not
+registry lookups or pool startup.
+
+The legacy kwargs entry points (``run_cluster``, ``measure``,
+``run_pair``, ``run_sweep``) survive as deprecation shims delegating to
+:func:`default_session`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ..apps.base import AppSpec
+from ..harness.runner import (
+    Measurement,
+    PairResult,
+    PreparedApp,
+    measurement_from_run,
+)
+from ..harness.sweep import (
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    _as_cache,
+    _execute_sweep,
+)
+from ..interp.runner import (
+    ClusterJob,
+    ClusterRun,
+    RunBatch,
+    execute_job,
+    run_many,
+)
+from ..lang.ast_nodes import SourceFile
+from ..runtime.collectives import CollectiveSpec, resolve_suite
+from ..runtime.costmodel import CostModel
+from ..runtime.network import NetworkModel, resolve_model
+from ..transform.prepush import TransformReport
+from ..verify import EquivalenceReport, verify_transform
+from .context import (
+    UNSET,
+    CompareRequest,
+    ExecutionContext,
+    Job,
+    NetworkLike,
+    VerifyRequest,
+)
+
+__all__ = ["Session", "VerifyResult", "default_session"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyResult:
+    """Response of :meth:`Session.verify`: the §4 verdict plus the
+    transformation that produced the checked program."""
+
+    equivalence: EquivalenceReport
+    transform: TransformReport
+
+    @property
+    def equivalent(self) -> bool:
+        return self.equivalence.equivalent
+
+    @property
+    def speedup(self) -> float:
+        return self.equivalence.speedup
+
+
+class Session:
+    """A configured execution environment for the whole pipeline.
+
+    Construct from an :class:`~repro.api.ExecutionContext`, keyword
+    overrides of one, or both (keywords win)::
+
+        Session()                                  # all defaults
+        Session(network="rdma-100g", jobs=4)
+        Session(ExecutionContext(collective="bruck"), cache_dir=".c")
+
+    Registry names in the context are resolved **here, once**: the
+    resolved :class:`~repro.runtime.network.NetworkModel` instance and
+    the full per-collective algorithm suite are attributes, so no
+    method call pays a registry lookup for inherited fields.  For the
+    network axis that also makes the session immune to later registry
+    mutation (the model *instance* is stored); for the collective axis
+    the suite pins algorithm **names** — which algorithm implements
+    each collective — while the named implementations are still looked
+    up at simulation time, so overwriting (or deleting) a registered
+    algorithm does affect a live session.  Per-request overrides (a
+    :class:`~repro.api.Job` naming its own network) are resolved per
+    call, against the registries as they are then.
+
+    The session owns two amortized resources: the sweep cache
+    (:attr:`cache`, shared by every :meth:`sweep` call) and a lazily
+    created persistent process pool (when ``jobs`` > 1), reused across
+    :meth:`run_many`/:meth:`sweep` calls and released by :meth:`close`
+    or the context-manager exit.
+    """
+
+    def __init__(
+        self,
+        context: Optional[ExecutionContext] = None,
+        **overrides: Any,
+    ) -> None:
+        if context is None:
+            context = ExecutionContext()
+        if overrides:
+            context = dataclasses.replace(context, **overrides)
+        self.context = context
+        # registry names resolve exactly once, here
+        self.network: NetworkModel = resolve_model(context.network)
+        self.collective_suite: Dict[str, str] = resolve_suite(
+            context.collective
+        )
+        self.cost_model: CostModel = context.cost_model
+        self.cache: Optional[SweepCache] = _as_cache(context.cache_dir)
+        self.jobs: Optional[int] = context.jobs
+        self._executor = None
+        self._executor_failed = False
+
+    # ------------------------------------------------------- resources
+
+    def pool(self):
+        """The session's persistent process pool, created on first use.
+
+        ``None`` when the context asked for no parallelism (``jobs``
+        absent or < 2) or when the pool failed once (sandboxes without
+        working multiprocessing); callers then run serially.  Creation
+        includes a round-trip health probe: environments that block
+        process spawning typically fail at first *submit*, not at
+        construction, and without the probe every later batch would
+        re-submit to a dead pool.  A pool whose workers die mid-life
+        (``BrokenProcessPool``) is likewise retired for good.
+        """
+        if self.jobs is None or self.jobs < 2 or self._executor_failed:
+            return None
+        if self._executor is not None and getattr(
+            self._executor, "_broken", False
+        ):
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            self._executor_failed = True
+            return None
+        if self._executor is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(max_workers=self.jobs)
+            except Exception:
+                self._executor_failed = True
+                return None
+            try:
+                executor.submit(int).result(timeout=60)
+            except Exception:
+                executor.shutdown(wait=False)
+                self._executor_failed = True
+                return None
+            self._executor = executor
+        return self._executor
+
+    def _processes(self) -> Optional[int]:
+        """The ``processes=`` fallback for :func:`run_many`: ``None``
+        once the pool is retired, so batches go straight to the serial
+        path instead of rebuilding a throwaway pool per call."""
+        return None if self._executor_failed else self.jobs
+
+    def close(self) -> None:
+        """Release the process pool (idempotent; the session remains
+        usable — a later pooled call simply recreates the pool)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------ resolution
+
+    def _resolve_network(self, value: Optional[NetworkLike]) -> NetworkModel:
+        return self.network if value is None else resolve_model(value)
+
+    def _resolve_collective(self, value: Any) -> Dict[str, str]:
+        if value is UNSET:
+            return self.collective_suite
+        return resolve_suite(value)
+
+    def _resolve_cost_model(self, value: Optional[CostModel]) -> CostModel:
+        return self.cost_model if value is None else value
+
+    def cluster_job(self, job: Job) -> ClusterJob:
+        """Resolve one :class:`~repro.api.Job` against this session into
+        the engine's :class:`~repro.interp.runner.ClusterJob`."""
+        return ClusterJob(
+            program=job.program,
+            nranks=job.nranks,
+            network=self._resolve_network(job.network),
+            cost_model=self._resolve_cost_model(job.cost_model),
+            detect_races=(
+                self.context.detect_races
+                if job.detect_races is None
+                else job.detect_races
+            ),
+            externals=job.externals,
+            label=job.label,
+            collective=self._resolve_collective(job.collective),
+        )
+
+    # ------------------------------------------------------- execution
+
+    def run(self, job: Job) -> ClusterRun:
+        """Simulate one :class:`~repro.api.Job`; the raw per-rank result."""
+        return execute_job(self.cluster_job(job))
+
+    def run_many(self, jobs: Sequence[Job]) -> RunBatch:
+        """Simulate independent jobs, sharded over the session pool."""
+        executor = self.pool()
+        return run_many(
+            [self.cluster_job(j) for j in jobs],
+            processes=self._processes(),
+            executor=executor,
+        )
+
+    def measure(self, job: Job) -> Measurement:
+        """Simulate one job and fold its stats into a
+        :class:`~repro.harness.runner.Measurement`."""
+        resolved = self.cluster_job(job)
+        run = execute_job(resolved)
+        return measurement_from_run(
+            run,
+            network=resolved.network,
+            label=job.label,
+            collective=resolved.collective,
+        )
+
+    def prepare(
+        self, request: Union[CompareRequest, AppSpec]
+    ) -> PreparedApp:
+        """Transform (and optionally §4-check) one workload for reuse
+        across measurements — the cached half of :meth:`compare`."""
+        request = self._as_compare(request)
+        return PreparedApp(
+            request.app,
+            tile_size=request.tile_size,
+            interchange=request.interchange,
+            verify=(
+                self.context.verify
+                if request.verify is None
+                else request.verify
+            ),
+            cost_model=self._resolve_cost_model(request.cost_model),
+        )
+
+    def compare(
+        self, request: Union[CompareRequest, AppSpec]
+    ) -> PairResult:
+        """Measure one workload original vs. pre-pushed on one network."""
+        request = self._as_compare(request)
+        prepared = self.prepare(request)
+        return prepared.run_on(
+            self._resolve_network(request.network),
+            collective=self._resolve_collective(request.collective),
+        )
+
+    def verify(
+        self, request: Union[VerifyRequest, str, SourceFile]
+    ) -> VerifyResult:
+        """Transform a program and check §4 output equivalence.
+
+        Accepts a bare program (source text or AST) as shorthand for
+        ``VerifyRequest(program=...)`` with its defaults.  Raises
+        :class:`~repro.errors.VerificationError` when nothing in the
+        program is transformable (there would be nothing to verify).
+        """
+        if not isinstance(request, VerifyRequest):
+            request = VerifyRequest(program=request)
+        transform_kwargs: Dict[str, Any] = {
+            "interchange": request.interchange
+        }
+        if request.oracle is not None:
+            transform_kwargs["oracle"] = request.oracle
+        equivalence, report = verify_transform(
+            request.program,
+            request.nranks,
+            tile_size=request.tile_size,
+            network=self._resolve_network(request.network),
+            cost_model=self._resolve_cost_model(request.cost_model),
+            externals=request.externals,
+            collective=self._resolve_collective(request.collective),
+            check=request.check,
+            **transform_kwargs,
+        )
+        return VerifyResult(equivalence=equivalence, transform=report)
+
+    def sweep(
+        self, specs: Union[SweepSpec, Sequence[SweepSpec]]
+    ) -> SweepResult:
+        """Run declarative sweep specs through this session's cache and
+        pool (see :mod:`repro.harness.sweep`).  A warm cache performs
+        zero simulations; repeated calls reuse the same pool."""
+        executor = self.pool()
+        return _execute_sweep(
+            specs,
+            jobs=self._processes(),
+            cache=self.cache,
+            executor=executor,
+        )
+
+    # --------------------------------------------------------- helpers
+
+    @staticmethod
+    def _as_compare(
+        request: Union[CompareRequest, AppSpec]
+    ) -> CompareRequest:
+        if isinstance(request, AppSpec):
+            return CompareRequest(app=request)
+        return request
+
+    def __repr__(self) -> str:
+        pool = "up" if self._executor is not None else "down"
+        return (
+            f"Session(network={self.network.name!r}, "
+            f"collective={self.collective_suite!r}, "
+            f"cache={'on' if self.cache else 'off'}, "
+            f"jobs={self.jobs}, pool={pool})"
+        )
+
+
+_default: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The lazily-created shared Session the deprecation shims delegate
+    to: default context, no cache, no pool."""
+    global _default
+    if _default is None:
+        _default = Session()
+    return _default

@@ -1,5 +1,10 @@
 """Command-line interface — the ``compuniformer`` tool.
 
+The CLI is a thin argparse translator over the typed :mod:`repro.api`
+surface: each subcommand builds a :class:`~repro.api.Session` (an
+``ExecutionContext`` from flags) plus a request object and prints the
+response — no execution logic lives here.
+
 Subcommands mirror the workflow of the paper's system:
 
 ``transform``  read a mini-Fortran file, pre-push it, write/print the result
@@ -65,6 +70,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .api import Job, Session, VerifyRequest
 from .apps import APP_BUILDERS, build_app
 from .errors import ReproError
 from .harness import (
@@ -77,17 +83,14 @@ from .harness import (
     ablation_workloads,
     bar_chart,
     figure1,
-    measure,
 )
 from .runtime.collectives import (
     COLLECTIVES,
     default_algorithm,
     list_algorithms,
 )
-from .runtime.costmodel import DEFAULT_COST_MODEL
 from .runtime.network import get_model, list_models
 from .transform.prepush import Compuniformer
-from .verify import verify_transform
 
 _BENCHES = {
     "tile_size": ablation_tile_size,
@@ -144,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="compuniformer",
         description=(
             "Automated communication-computation overlap transformation "
-            "(Fishgold et al., ParCo 2005) with a simulated-cluster "
+            "(Fishgold et al., IPDPS 2006) with a simulated-cluster "
             "evaluation harness."
         ),
     )
@@ -217,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes",
         type=int,
         default=None,
-        help="process-pool size for the 'scenarios' sweep",
+        help="session process-pool size shared by the bench sweeps",
     )
     _add_collective_arg(p)
 
@@ -352,12 +355,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.transformed else 2
 
     if args.command == "run":
-        m = measure(
-            _read_source(args.file),
-            args.nranks,
-            get_model(args.network),
-            cost_model=DEFAULT_COST_MODEL,
-            collective=args.collective,
+        session = Session(
+            network=args.network, collective=args.collective
+        )
+        m = session.measure(
+            Job(program=_read_source(args.file), nranks=args.nranks)
         )
         print(f"network:        {m.network}")
         print(f"collectives:    {m.collective}")
@@ -372,12 +374,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "verify":
-        equivalence, report = verify_transform(
-            _read_source(args.file),
-            args.nranks,
-            tile_size=args.tile_size,
-            network=get_model(args.network),
+        session = Session(network=args.network)
+        result = session.verify(
+            VerifyRequest(
+                program=_read_source(args.file),
+                nranks=args.nranks,
+                tile_size=args.tile_size,
+            )
         )
+        equivalence, report = result.equivalence, result.transform
         print(report.describe())
         if equivalence.equivalent:
             print(
@@ -410,6 +415,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             nranks=args.nranks,
             tile_size=args.tile_size,
             cpu_scale=args.cpu_scale,
+            session=Session(),
         )
         print(table.render())
         labels = [
@@ -450,18 +456,17 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "bench":
         names = sorted(_BENCHES) if args.name == "all" else [args.name]
-        for name in names:
-            kwargs = {}
-            if args.network and name in _BENCHES_WITH_NETWORK:
-                kwargs["network"] = args.network
-            if args.network and name == "collectives":
-                kwargs["networks"] = (args.network,)
-            if args.collective and name in _BENCHES_WITH_COLLECTIVE:
-                kwargs["collective"] = args.collective
-            if args.processes and name == "scenarios":
-                kwargs["processes"] = args.processes
-            print(_BENCHES[name](**kwargs).render())
-            print()
+        with Session(jobs=args.processes) as session:
+            for name in names:
+                kwargs = {}
+                if args.network and name in _BENCHES_WITH_NETWORK:
+                    kwargs["network"] = args.network
+                if args.network and name == "collectives":
+                    kwargs["networks"] = (args.network,)
+                if args.collective and name in _BENCHES_WITH_COLLECTIVE:
+                    kwargs["collective"] = args.collective
+                print(_BENCHES[name](session=session, **kwargs).render())
+                print()
         return 0
 
     if args.command == "sweep":
@@ -640,45 +645,47 @@ def _generic_sweep_table(res) -> "Table":
 
 
 def _sweep_command(args: argparse.Namespace) -> int:
-    from .harness.sweep import SweepCache, run_sweep
     from .runtime.simulator import ENGINE_VERSION
 
-    cache = None if args.no_cache else SweepCache(args.cache_dir)
     artifact = {"engine": ENGINE_VERSION, "tables": []}
-
-    if args.spec or args.app:
-        if args.spec and args.app:
-            raise ReproError("--spec and --app are mutually exclusive")
-        specs = _load_spec_file(args.spec) if args.spec else [_custom_spec(args)]
-        res = run_sweep(specs, jobs=args.jobs, cache=cache)
-        table = _generic_sweep_table(res)
-        print(table.render())
-        artifact["tables"].append(_table_to_json(table))
-        artifact["result"] = res.to_json()
-        print(f"sweep: {res.stats.summary()}", file=sys.stderr)
-    else:
-        figures = dict(_BENCHES, figure1=figure1)
-        target = args.target or "all"
-        strict = target != "all"
-        _check_figure_flags(args)
-        names = sorted(figures) if target == "all" else [target]
-        for name in names:
-            fn = figures[name]
-            table = fn(
-                cache=cache,
-                jobs=args.jobs,
-                **_figure_kwargs(fn, args, strict),
+    with Session(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+    ) as session:
+        if args.spec or args.app:
+            if args.spec and args.app:
+                raise ReproError("--spec and --app are mutually exclusive")
+            specs = (
+                _load_spec_file(args.spec) if args.spec else [_custom_spec(args)]
             )
+            res = session.sweep(specs)
+            table = _generic_sweep_table(res)
             print(table.render())
-            print()
             artifact["tables"].append(_table_to_json(table))
+            artifact["result"] = res.to_json()
+            print(f"sweep: {res.stats.summary()}", file=sys.stderr)
+        else:
+            figures = dict(_BENCHES, figure1=figure1)
+            target = args.target or "all"
+            strict = target != "all"
+            _check_figure_flags(args)
+            names = sorted(figures) if target == "all" else [target]
+            for name in names:
+                fn = figures[name]
+                table = fn(
+                    session=session,
+                    **_figure_kwargs(fn, args, strict),
+                )
+                print(table.render())
+                print()
+                artifact["tables"].append(_table_to_json(table))
 
-    if cache is not None:
-        print(
-            f"cache[{args.cache_dir}]: {cache.stats.summary()}",
-            file=sys.stderr,
-        )
-        artifact["cache"] = vars(cache.stats).copy()
+        if session.cache is not None:
+            print(
+                f"cache[{args.cache_dir}]: {session.cache.stats.summary()}",
+                file=sys.stderr,
+            )
+            artifact["cache"] = vars(session.cache.stats).copy()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True)

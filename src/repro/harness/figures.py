@@ -8,12 +8,14 @@ example algorithms) and the node-loop interchange (§3.5).
 
 Every function is a thin :class:`~repro.harness.sweep.SweepSpec`
 constructor over the shared sweep engine (:mod:`repro.harness.sweep`):
-it names the axes, lets :func:`~repro.harness.sweep.run_sweep` expand,
-deduplicate, cache, and (optionally) shard the simulations, then folds
-the measurements into a :class:`~repro.harness.report.Table`.  The
-``cache``/``jobs`` keywords thread straight through to the engine — a
-warm cache regenerates every table below bit-identically with zero
-simulations (DESIGN.md §7).
+it names the axes, lets the engine expand, deduplicate, cache, and
+(optionally) shard the simulations, then folds the measurements into a
+:class:`~repro.harness.report.Table`.  Pass ``session=`` (a
+:class:`repro.api.Session`) to run through the façade's cache and
+persistent pool; the legacy ``cache``/``jobs`` keywords drive a
+one-shot engine invocation instead and are mutually exclusive with
+``session``.  A warm cache regenerates every table below
+bit-identically with zero simulations (DESIGN.md §7).
 
 Every function returns a :class:`~repro.harness.report.Table`; the
 benchmark suite renders the tables and asserts their *shape* (who wins,
@@ -23,8 +25,9 @@ roughly by how much) rather than absolute virtual times.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ReproError
 from ..runtime.collectives import (
     CollectiveSpec,
     default_algorithm,
@@ -39,7 +42,10 @@ from ..runtime.network import (
     resolve_model,
 )
 from .report import Table
-from .sweep import SweepCache, SweepSpec, collective_label, run_sweep
+from .sweep import SweepCache, SweepSpec, _execute_sweep, collective_label
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..api.session import Session
 
 __all__ = [
     "figure1",
@@ -54,6 +60,32 @@ __all__ = [
 
 NetworkLike = Union[str, NetworkModel]
 CacheLike = Union[None, str, Path, SweepCache]
+
+
+def _sweep(
+    specs,
+    *,
+    session: "Optional[Session]",
+    cache: CacheLike,
+    jobs: Optional[int],
+):
+    """Run specs through a Session façade or a one-shot engine call.
+
+    ``session`` and the legacy ``cache``/``jobs`` knobs are mutually
+    exclusive: a session already owns its cache and pool, and silently
+    preferring one source of configuration over the other would run a
+    different sweep than the caller asked for.
+    """
+    if session is not None:
+        if cache is not None or jobs is not None:
+            raise ReproError(
+                "session= already carries the engine configuration; "
+                "drop the cache=/jobs= (or legacy processes=) arguments "
+                "and construct the Session with "
+                "Session(cache_dir=..., jobs=...)"
+            )
+        return session.sweep(specs)
+    return _execute_sweep(specs, cache=cache, jobs=jobs)
 
 
 def _speedup(original: float, prepush: float) -> float:
@@ -74,6 +106,7 @@ def figure1(
     verify: bool = True,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Paper Figure 1: normalized execution time, Original vs Prepush,
     under the host-based stack (MPICH) and the NIC-offload stack (MPICH-GM).
@@ -101,7 +134,7 @@ def figure1(
         cpu_scales=(cpu_scale,),
         verify=verify,
     )
-    res = run_sweep(spec, cache=cache, jobs=jobs)
+    res = _sweep(spec, session=session, cache=cache, jobs=jobs)
 
     times = [r.measurement.time for r in res.runs]
     floor = min(times)
@@ -150,6 +183,7 @@ def ablation_tile_size(
     collective: CollectiveSpec = None,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation A: the U-shaped tile-size trade-off (deferred to [3]).
 
@@ -185,7 +219,7 @@ def ablation_tile_size(
     specs = [spec_for(ks[:1], "first", verify)]
     if ks[1:]:
         specs.append(spec_for(ks[1:], "rest", False))
-    res = run_sweep(specs, cache=cache, jobs=jobs)
+    res = _sweep(specs, session=session, cache=cache, jobs=jobs)
 
     table = Table(
         title=f"Ablation A — tile size sweep (fft n={n}, NP={nranks}, "
@@ -217,6 +251,7 @@ def ablation_scaling(
     collective: CollectiveSpec = None,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation B: cluster-size scaling of the prepush benefit."""
     network = resolve_model(network)
@@ -229,7 +264,7 @@ def ablation_scaling(
         collectives=(collective,),
         verify=verify,
     )
-    res = run_sweep(spec, cache=cache, jobs=jobs)
+    res = _sweep(spec, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation B — cluster size sweep (fft n={n}, {network.name})",
         columns=["NP", "time_original_s", "time_prepush_s", "speedup"],
@@ -270,6 +305,7 @@ def ablation_network(
     verify: bool = True,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation C: which network properties the benefit depends on.
 
@@ -288,7 +324,7 @@ def ablation_network(
         networks=tuple(model for _, model in variants),
         verify=verify,
     )
-    res = run_sweep(spec, cache=cache, jobs=jobs)
+    res = _sweep(spec, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation C — network parameter sweep (fft n={n}, NP={nranks})",
         columns=[
@@ -334,6 +370,7 @@ def ablation_workloads(
     collective: CollectiveSpec = None,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation D: prepush across §2's example workload classes.
 
@@ -361,7 +398,7 @@ def ablation_workloads(
                 verify=verify,
             )
         )
-    res = run_sweep(specs, cache=cache, jobs=jobs)
+    res = _sweep(specs, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation D — workload generality (NP={nranks}, {network.name})",
         columns=[
@@ -402,6 +439,7 @@ def ablation_nodeloop(
     collective: CollectiveSpec = None,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation E: the cost of a congested node loop (§3.5).
 
@@ -423,7 +461,7 @@ def ablation_nodeloop(
         cpu_scales=(cpu_scale,),
         verify=verify,
     )
-    res = run_sweep(spec, cache=cache, jobs=jobs)
+    res = _sweep(spec, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=(
             f"Ablation E — node-loop position (nodeloop n={n}, "
@@ -464,6 +502,7 @@ def ablation_scenarios(
     processes: Optional[int] = None,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation F: the prepush benefit across every registered scenario.
 
@@ -501,7 +540,7 @@ def ablation_scenarios(
         cpu_scales=(cpu_scale,),
         verify=verify,
     )
-    res = run_sweep(spec, cache=cache, jobs=jobs or processes)
+    res = _sweep(spec, session=session, cache=cache, jobs=jobs or processes)
     table = Table(
         title=f"Ablation F — scenario registry sweep (fft n={n}, NP={nranks})",
         columns=[
@@ -547,6 +586,7 @@ def ablation_collectives(
     cpu_scale: float = 4.0,
     cache: CacheLike = None,
     jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation G: the collective-algorithm axis (algorithm x network x
     workload).
@@ -583,7 +623,7 @@ def ablation_collectives(
                 verify=False,
             )
         )
-    res = run_sweep(specs, cache=cache, jobs=jobs)
+    res = _sweep(specs, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=(
             f"Ablation G — collective algorithm sweep (NP={nranks}, "

@@ -1,21 +1,24 @@
 """Experiment execution: run original/transformed pairs over network models.
 
-:func:`measure` simulates one program once and extracts the timing
-breakdown; :func:`run_pair` transforms a workload, checks equivalence
+:class:`Measurement` folds one simulation into a timing breakdown;
+:class:`PreparedApp` transforms a workload once, checks equivalence
 (an experiment on wrong data is worthless), and measures both variants
 on one network.  These are the building blocks every figure/ablation
-uses.
+uses.  The kwargs-style :func:`measure` / :func:`run_pair` entry points
+are deprecation shims over the :class:`repro.api.Session` façade
+(:meth:`~repro.api.Session.measure` / :meth:`~repro.api.Session.compare`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..apps.base import AppSpec
 from ..errors import ReproError
-from ..interp.runner import ClusterRun, run_cluster
+from ..interp.runner import ClusterJob, ClusterRun, execute_job
 from ..lang.ast_nodes import SourceFile
 from ..runtime.collectives import CollectiveSpec, describe_suite, resolve_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -109,6 +112,35 @@ def measurement_from_run(
     )
 
 
+def _measure_impl(
+    program: Union[str, SourceFile],
+    nranks: int,
+    network: Union[str, NetworkModel],
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    externals=None,
+    label: str = "",
+    collective: CollectiveSpec = None,
+) -> Measurement:
+    """Simulate once and fold the per-rank stats into a measurement
+    (the shared core of :meth:`repro.api.Session.measure` and the
+    deprecated :func:`measure` shim)."""
+    network = resolve_model(network)
+    run = execute_job(
+        ClusterJob(
+            program=program,
+            nranks=nranks,
+            network=network,
+            cost_model=cost_model,
+            externals=externals,
+            collective=collective,
+        )
+    )
+    return measurement_from_run(
+        run, network=network, label=label, collective=collective
+    )
+
+
 def measure(
     program: Union[str, SourceFile],
     nranks: int,
@@ -119,24 +151,27 @@ def measure(
     label: str = "",
     collective: CollectiveSpec = None,
 ) -> Measurement:
-    """Simulate once and fold the per-rank stats into a measurement.
-
-    ``network`` may be a model instance or a registered scenario name;
-    ``collective`` selects collective algorithms (name, mapping, or
-    ``None`` for the defaults — see
-    :func:`repro.runtime.collectives.resolve_suite`).
-    """
-    network = resolve_model(network)
-    run = run_cluster(
-        program,
-        nranks,
-        network,
-        cost_model=cost_model,
-        externals=externals,
-        collective=collective,
+    """Deprecated kwargs-style entry; use
+    :meth:`repro.api.Session.measure` with a :class:`repro.api.Job`."""
+    warnings.warn(
+        "measure(...) is deprecated; use "
+        "repro.Session().measure(repro.Job(program=..., nranks=..., ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return measurement_from_run(
-        run, network=network, label=label, collective=collective
+    from ..api import Job
+    from ..api.session import default_session
+
+    return default_session().measure(
+        Job(
+            program=program,
+            nranks=nranks,
+            network=network,
+            cost_model=cost_model,
+            externals=externals,
+            label=label,
+            collective=collective,
+        )
     )
 
 
@@ -205,19 +240,23 @@ class PreparedApp:
     def _verify(self) -> None:
         from ..runtime.network import IDEAL
 
-        a = run_cluster(
-            self.app.source,
-            self.app.nranks,
-            IDEAL,
-            cost_model=self.cost_model,
-            externals=self.app.externals,
+        a = execute_job(
+            ClusterJob(
+                program=self.app.source,
+                nranks=self.app.nranks,
+                network=IDEAL,
+                cost_model=self.cost_model,
+                externals=self.app.externals,
+            )
         )
-        b = run_cluster(
-            self.transform.source,
-            self.app.nranks,
-            IDEAL,
-            cost_model=self.cost_model,
-            externals=self.app.externals,
+        b = execute_job(
+            ClusterJob(
+                program=self.transform.source,
+                nranks=self.app.nranks,
+                network=IDEAL,
+                cost_model=self.cost_model,
+                externals=self.app.externals,
+            )
         )
         self.check_equivalence(a, b)
 
@@ -251,7 +290,7 @@ class PreparedApp:
         point-to-point traffic, so the knob mostly moves the original).
         """
         network = resolve_model(network)
-        original = measure(
+        original = _measure_impl(
             self.app.source,
             self.app.nranks,
             network,
@@ -260,7 +299,7 @@ class PreparedApp:
             label=f"{self.app.name}/original",
             collective=collective,
         )
-        prepush = measure(
+        prepush = _measure_impl(
             self.transform.source,
             self.app.nranks,
             network,
@@ -289,12 +328,26 @@ def run_pair(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     collective: CollectiveSpec = None,
 ) -> PairResult:
-    """One-shot convenience: prepare + measure on a single network."""
-    prepared = PreparedApp(
-        app,
-        tile_size=tile_size,
-        interchange=interchange,
-        verify=verify,
-        cost_model=cost_model,
+    """Deprecated kwargs-style entry; use
+    :meth:`repro.api.Session.compare` with a
+    :class:`repro.api.CompareRequest`."""
+    warnings.warn(
+        "run_pair(...) is deprecated; use "
+        "repro.Session().compare(repro.CompareRequest(app=..., ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return prepared.run_on(network, collective=collective)
+    from ..api import CompareRequest
+    from ..api.session import default_session
+
+    return default_session().compare(
+        CompareRequest(
+            app=app,
+            tile_size=tile_size,
+            interchange=interchange,
+            verify=verify,
+            network=network,
+            collective=collective,
+            cost_model=cost_model,
+        )
+    )

@@ -34,6 +34,7 @@ import json
 import hashlib
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -527,21 +528,27 @@ class SweepResult:
         }
 
 
-def run_sweep(
+def _execute_sweep(
     specs: Union[SweepSpec, Sequence[SweepSpec]],
     *,
     jobs: Optional[int] = None,
     cache: Union[None, str, Path, SweepCache] = None,
+    executor=None,
 ) -> SweepResult:
     """Execute one or more sweep specs through the shared engine.
 
     ``jobs`` > 1 shards the simulations over a
     :func:`~repro.interp.runner.run_many` process pool (verification
-    runs ride in the same batch).  ``cache`` (a directory path or a
+    runs ride in the same batch); a live ``executor`` (a
+    :class:`repro.api.Session`'s persistent pool) takes precedence and
+    is left running afterwards.  ``cache`` (a directory path or a
     :class:`SweepCache`) serves previously-simulated points without
     re-simulating; ``None`` disables caching entirely.  Points whose
     fingerprints coincide are simulated once per batch regardless of
     caching.
+
+    This is the engine behind :meth:`repro.api.Session.sweep`; the
+    kwargs-style :func:`run_sweep` is a deprecation shim over it.
     """
     if isinstance(specs, SweepSpec):
         specs = [specs]
@@ -623,7 +630,7 @@ def run_sweep(
     stats.verify_simulated = 2 * len(pending_verifications)
 
     if batch_jobs:
-        batch = run_many(batch_jobs, processes=jobs)
+        batch = run_many(batch_jobs, processes=jobs, executor=executor)
         stats.mode = batch.mode
         stats.processes = batch.processes
     else:
@@ -707,3 +714,32 @@ def run_sweep(
             )
         )
     return SweepResult(runs=runs, stats=stats, specs=specs)
+
+
+def run_sweep(
+    specs: Union[SweepSpec, Sequence[SweepSpec]],
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[None, str, Path, SweepCache] = None,
+) -> SweepResult:
+    """Deprecated kwargs-style entry; use
+    :meth:`repro.api.Session.sweep` on a session constructed with
+    ``cache_dir=``/``jobs=``.
+
+    The shim builds a one-shot :class:`repro.api.Session` (so any pool
+    it creates is torn down again — the whole point of a real Session is
+    to keep that pool alive between calls).
+    """
+    warnings.warn(
+        "run_sweep(...) is deprecated; use "
+        "repro.Session(cache_dir=..., jobs=...).sweep(specs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api.session import Session
+
+    session = Session(cache_dir=cache, jobs=jobs)
+    try:
+        return session.sweep(specs)
+    finally:
+        session.close()

@@ -7,7 +7,13 @@ from .procedures import (  # noqa: F401
     ExternalRegistry,
     make_producer,
 )
-from .runner import ClusterRun, run_cluster, run_serial  # noqa: F401
+from .runner import (  # noqa: F401
+    ClusterJob,
+    ClusterRun,
+    execute_job,
+    run_cluster,
+    run_serial,
+)
 from .values import FArray  # noqa: F401
 
 __all__ = [
@@ -18,7 +24,9 @@ __all__ = [
     "ExternalRegistry",
     "ExternalCall",
     "make_producer",
+    "execute_job",
     "run_cluster",
     "run_serial",
+    "ClusterJob",
     "ClusterRun",
 ]

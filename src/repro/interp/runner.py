@@ -1,12 +1,14 @@
 """Convenience drivers: run a mini-Fortran program on the simulated cluster.
 
-:func:`run_cluster` is the main entry: it parses (if given text),
-instantiates one :class:`~repro.interp.interpreter.Interpreter` per rank,
-drives them through the :class:`~repro.runtime.simulator.Engine`, and
-returns timing plus each rank's printed output and final array contents —
-everything the correctness checker and the benchmark harness need.
-Network models may be passed as instances or as registered scenario
-names (:mod:`repro.runtime.network`).
+:func:`execute_job` is the core entry: it takes one typed
+:class:`ClusterJob`, parses the program (if given text), instantiates
+one :class:`~repro.interp.interpreter.Interpreter` per rank, drives them
+through the :class:`~repro.runtime.simulator.Engine`, and returns timing
+plus each rank's printed output and final array contents — everything
+the correctness checker and the benchmark harness need.  Network models
+may be passed as instances or as registered scenario names
+(:mod:`repro.runtime.network`).  The kwargs-style :func:`run_cluster` is
+a deprecation shim over the :class:`repro.api.Session` façade.
 
 :func:`run_many` executes a batch of independent simulations, optionally
 across a process pool — figure sweeps rerun the same programs over many
@@ -26,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -70,7 +73,7 @@ def _as_source(program: Union[str, SourceFile]) -> SourceFile:
     return parse(program)
 
 
-def run_cluster(
+def _simulate(
     program: Union[str, SourceFile],
     nranks: int,
     network: Union[str, NetworkModel] = IDEAL,
@@ -115,6 +118,40 @@ def run_cluster(
     return ClusterRun(result=result, outputs=outputs, arrays=arrays)
 
 
+def run_cluster(
+    program: Union[str, SourceFile],
+    nranks: int,
+    network: Union[str, NetworkModel] = IDEAL,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    externals: Optional[ExternalRegistry] = None,
+    detect_races: bool = True,
+    collective: CollectiveSpec = None,
+) -> ClusterRun:
+    """Deprecated kwargs-style entry; use
+    :meth:`repro.api.Session.run` with a :class:`repro.api.Job`."""
+    warnings.warn(
+        "run_cluster(...) is deprecated; use "
+        "repro.Session().run(repro.Job(program=..., nranks=..., ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Job
+    from ..api.session import default_session
+
+    return default_session().run(
+        Job(
+            program=program,
+            nranks=nranks,
+            network=network,
+            cost_model=cost_model,
+            externals=externals,
+            detect_races=detect_races,
+            collective=collective,
+        )
+    )
+
+
 def run_serial(
     program: Union[str, SourceFile],
     *,
@@ -122,7 +159,7 @@ def run_serial(
     externals: Optional[ExternalRegistry] = None,
 ) -> ClusterRun:
     """Run a communication-free program on a single virtual rank."""
-    return run_cluster(
+    return _simulate(
         program,
         nranks=1,
         network=IDEAL,
@@ -188,8 +225,10 @@ def job_fingerprint(job: ClusterJob) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _run_job(job: ClusterJob) -> ClusterRun:
-    return run_cluster(
+def execute_job(job: ClusterJob) -> ClusterRun:
+    """Simulate one :class:`ClusterJob` — the non-deprecated core every
+    façade path (and the process pool) executes."""
+    return _simulate(
         job.program,
         job.nranks,
         job.network,
@@ -248,6 +287,7 @@ def run_many(
     jobs: Sequence[ClusterJob],
     *,
     processes: Optional[int] = None,
+    executor=None,
 ) -> RunBatch:
     """Run independent simulations, optionally on a process pool.
 
@@ -256,15 +296,21 @@ def run_many(
     workers execute the batch; results come back in submission order, so
     output is identical either way — sweeps are deterministic per job.
     The returned :class:`RunBatch` says which path executed and why.
+
+    ``executor`` (a live :class:`concurrent.futures.Executor`) takes
+    precedence over ``processes``: the batch is mapped onto it and the
+    executor is **not** shut down afterwards — this is how a
+    :class:`repro.api.Session` amortizes one persistent pool across
+    many batches.
     """
     jobs = list(jobs)
 
     def serial(reason: str) -> RunBatch:
         return RunBatch(
-            [_run_job(j) for j in jobs], mode="serial", reason=reason
+            [execute_job(j) for j in jobs], mode="serial", reason=reason
         )
 
-    if processes is None or processes < 2:
+    if executor is None and (processes is None or processes < 2):
         return serial("no pool requested")
     if len(jobs) < 2:
         return serial("batch too small to shard")
@@ -274,13 +320,31 @@ def run_many(
     shipped = [replace(j, network=resolve_model(j.network)) for j in jobs]
     if not _poolable(shipped):
         return serial("jobs not picklable (externals?)")
+
+    if executor is not None:
+        workers = getattr(executor, "_max_workers", None) or 1
+        try:
+            return RunBatch(
+                executor.map(execute_job, shipped),
+                mode="pool",
+                processes=min(workers, len(jobs)),
+            )
+        except (OSError, RuntimeError) as exc:
+            # a broken persistent pool degrades this batch to serial;
+            # the owner decides whether to rebuild or keep degrading
+            return RunBatch(
+                [execute_job(j) for j in jobs],
+                mode="serial",
+                reason=f"process pool unavailable ({exc.__class__.__name__})",
+            )
+
     from concurrent.futures import ProcessPoolExecutor
 
     workers = min(processes, len(jobs))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return RunBatch(
-                pool.map(_run_job, shipped), mode="pool", processes=workers
+                pool.map(execute_job, shipped), mode="pool", processes=workers
             )
     except (OSError, RuntimeError) as exc:
         # sandboxes without working multiprocessing fall back to serial

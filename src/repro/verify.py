@@ -26,7 +26,7 @@ import numpy as np
 
 from .errors import VerificationError
 from .interp.procedures import ExternalRegistry
-from .interp.runner import ClusterRun, run_cluster
+from .interp.runner import ClusterJob, ClusterRun, execute_job
 from .lang.ast_nodes import SourceFile
 from .runtime.collectives import CollectiveSpec
 from .runtime.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -174,21 +174,25 @@ def verify_equivalence(
     mismatches: a transformation that triggers them is unsafe even if
     the data raced to the right values this time.
     """
-    run_a = run_cluster(
-        original,
-        nranks,
-        network,
-        cost_model=cost_model,
-        externals=externals,
-        collective=collective,
+    run_a = execute_job(
+        ClusterJob(
+            program=original,
+            nranks=nranks,
+            network=network,
+            cost_model=cost_model,
+            externals=externals,
+            collective=collective,
+        )
     )
-    run_b = run_cluster(
-        transformed,
-        nranks,
-        network,
-        cost_model=cost_model,
-        externals=externals,
-        collective=collective,
+    run_b = execute_job(
+        ClusterJob(
+            program=transformed,
+            nranks=nranks,
+            network=network,
+            cost_model=cost_model,
+            externals=externals,
+            collective=collective,
+        )
     )
     report = compare_runs(run_a, run_b, skip=skip, arrays=arrays)
     races = [w for w in run_b.warnings if "in flight" in w]
@@ -209,13 +213,16 @@ def verify_transform(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals: Optional[ExternalRegistry] = None,
     check: bool = False,
+    collective: CollectiveSpec = None,
     **transform_kwargs,
 ) -> Tuple[EquivalenceReport, "TransformReport"]:
     """Transform ``original`` and verify the result in one call.
 
     Returns ``(equivalence, transform_report)``.  Raises
     :class:`~repro.errors.VerificationError` when the program contains no
-    transformable site (there would be nothing to verify).
+    transformable site (there would be nothing to verify).  This is the
+    single copy of the transform-then-check workflow;
+    :meth:`repro.api.Session.verify` delegates here.
     """
     from .transform.prepush import Compuniformer, TransformReport
 
@@ -235,6 +242,7 @@ def verify_transform(
         cost_model=cost_model,
         externals=externals,
         skip=report.dead_arrays,
+        collective=collective,
         check=check,
     )
     return equivalence, report

@@ -1,0 +1,108 @@
+"""Public-API snapshot: ``repro.__all__`` plus the Session surface.
+
+The declared surface is dumped to ``tests/api_surface.txt`` and compared
+verbatim; an undeclared change (a renamed export, a new Session method,
+a changed signature) fails here — and in the CI hygiene job — until the
+snapshot is regenerated on purpose with::
+
+    PYTHONPATH=src python tests/test_api_surface.py --update
+
+Run with ``--check`` for a non-pytest CI gate (exit 1 + diff on drift).
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+import sys
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent / "api_surface.txt"
+
+
+def format_surface() -> str:
+    """Render the public surface deterministically.
+
+    Sections: the package ``__all__``, the :class:`repro.Session` method
+    signatures, and the fields of every frozen request dataclass — the
+    parts a caller's code is coupled to.  Annotations are source strings
+    (``from __future__ import annotations``), so the rendering is stable
+    across Python versions.
+    """
+    import dataclasses
+
+    import repro
+
+    lines = [
+        "# Public-API surface snapshot.",
+        "# Regenerate: PYTHONPATH=src python tests/test_api_surface.py --update",
+        "",
+        "[repro.__all__]",
+    ]
+    lines.extend(sorted(repro.__all__))
+
+    lines += ["", "[repro.Session]"]
+    for name in sorted(vars(repro.Session)):
+        if name.startswith("_"):
+            continue
+        member = inspect.getattr_static(repro.Session, name)
+        if isinstance(member, staticmethod):
+            continue
+        if isinstance(member, property):
+            lines.append(f"Session.{name} <property>")
+        elif callable(member):
+            lines.append(f"Session.{name}{inspect.signature(member)}")
+
+    for cls in (
+        repro.ExecutionContext,
+        repro.Job,
+        repro.CompareRequest,
+        repro.VerifyRequest,
+        repro.VerifyResult,
+    ):
+        lines += ["", f"[repro.{cls.__name__}]"]
+        for f in dataclasses.fields(cls):
+            lines.append(f"{f.name}: {f.type}")
+    return "\n".join(lines) + "\n"
+
+
+def test_api_surface_matches_snapshot():
+    expected = SNAPSHOT.read_text(encoding="utf-8")
+    actual = format_surface()
+    assert actual == expected, (
+        "the public API surface drifted from tests/api_surface.txt.\n"
+        "If the change is intentional, regenerate the snapshot:\n"
+        "  PYTHONPATH=src python tests/test_api_surface.py --update\n"
+        + "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                "api_surface.txt",
+                "current",
+                lineterm="",
+            )
+        )
+    )
+
+
+if __name__ == "__main__":
+    surface = format_surface()
+    if "--update" in sys.argv:
+        SNAPSHOT.write_text(surface, encoding="utf-8")
+        print(f"wrote {SNAPSHOT}")
+    elif "--check" in sys.argv:
+        expected = SNAPSHOT.read_text(encoding="utf-8")
+        if surface != expected:
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    expected.splitlines(keepends=True),
+                    surface.splitlines(keepends=True),
+                    "api_surface.txt",
+                    "current",
+                )
+            )
+            print("API surface drifted; see diff above", file=sys.stderr)
+            sys.exit(1)
+        print("API surface matches the snapshot")
+    else:
+        print(surface, end="")
