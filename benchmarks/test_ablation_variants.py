@@ -1,0 +1,53 @@
+"""Ablation H — the transformation-variant axis (variant × network ×
+workload).
+
+Shape: the full prepush pipeline dominates its own ablations where the
+ablated pass matters — on the node-loop workload, variants without the
+interchange pass stay congested in scheme B; on the indirect workload,
+variants without the indirect-elim pass leave the program unchanged
+(speedup exactly 1).
+"""
+
+from benchmarks.conftest import run_and_render
+
+from repro.harness import ablation_variants
+
+
+def test_variants(benchmark):
+    table = run_and_render(
+        benchmark,
+        ablation_variants,
+        nranks=8,
+        networks=("hostnet", "gmnet"),
+        verify=True,
+    )
+
+    def row(workload, variant, network="mpich-gm"):
+        return table.lookup(
+            workload=workload, variant=variant, network=network
+        )
+
+    # every registered variant appears for every workload x network
+    assert len(table.rows) >= 3 * 5 * 2
+
+    # §3.5: dropping the interchange pass leaves nodeloop congested
+    assert row("nodeloop", "prepush")["scheme"] == "A"
+    for ablated in ("tile-only", "no-interchange"):
+        assert row("nodeloop", ablated)["scheme"] == "B"
+    assert float(row("nodeloop", "prepush")["time_s"]) < float(
+        row("nodeloop", "no-interchange")["time_s"]
+    )
+
+    # §3.4: without indirect-elim the indirect kernel is untouched
+    assert row("indirect", "tile-only")["K"] == "-"
+    assert float(row("indirect", "tile-only")["vs_original"]) == 1.0
+    # and the full pipeline beats the original on the offload stack
+    assert float(row("indirect", "prepush")["vs_original"]) > 1.0
+
+    # baseline sanity: original is 1.0 everywhere
+    for workload in ("fft", "nodeloop", "indirect"):
+        for network in ("mpich", "mpich-gm"):
+            assert (
+                float(row(workload, "original", network)["vs_original"])
+                == 1.0
+            )

@@ -1,0 +1,91 @@
+"""Compiler-side benchmark: pipeline compile time per app.
+
+The pass pipeline replaced the monolithic Compuniformer as the
+production transformation path (every PreparedApp/sweep transform runs
+through it), so its compile time — parse → interchange → plan →
+commgen/indirect-elim → unparse, including the per-pass snapshots — is
+a build-cost trajectory worth tracking.  Each workload's wall time goes
+into ``extra_info`` so CI's ``BENCH_pipeline.json`` artifact records
+the per-app numbers, and every run re-asserts the non-negotiable
+invariant: the pipeline's output is bit-identical to the legacy
+monolith's.
+
+A ``smoke`` benchmark: it finishes in seconds and runs in CI's
+``--benchmark-smoke`` job.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.apps import build_app
+from repro.transform import Compuniformer
+from repro.transform.pipeline import get_variant
+
+pytestmark = pytest.mark.smoke
+
+#: One representative geometry per transformation shape.
+APPS = (
+    ("fft", {"n": 128, "nranks": 8, "steps": 1, "stages": 6}),
+    ("figure2", {"n": 4096, "nranks": 8, "steps": 1, "stages": 6}),
+    ("indirect", {"n": 32, "nranks": 8, "stages": 6}),
+    ("nodeloop", {"n": 96, "nranks": 8, "steps": 1, "stages": 6}),
+)
+
+
+def test_pipeline_compile_speed(benchmark):
+    apps = [build_app(name, **kwargs) for name, kwargs in APPS]
+    pipeline = get_variant("prepush")
+
+    def compile_all():
+        return [
+            pipeline.run(app.source, oracle=app.oracle) for app in apps
+        ]
+
+    reports = benchmark(compile_all)
+
+    # parity is re-proven on every benchmark run: same text as the
+    # legacy monolithic driver, app by app
+    for app, report in zip(apps, reports):
+        legacy = Compuniformer(oracle=app.oracle).transform(app.source)
+        assert report.unparse() == legacy.unparse()
+
+    # per-app compile time for the BENCH_pipeline.json trajectory
+    for app in apps:
+        t0 = perf_counter()
+        pipeline.run(app.source, oracle=app.oracle)
+        benchmark.extra_info[f"compile_{app.name}_s"] = round(
+            perf_counter() - t0, 5
+        )
+    benchmark.extra_info["apps"] = len(apps)
+
+
+def test_pipeline_overhead_vs_monolith(benchmark):
+    """The pass decomposition (snapshots included) must stay within a
+    small constant factor of the monolith — the pipeline runs on every
+    sweep expansion, so a regression here multiplies across figures."""
+    app = build_app("fft", n=128, nranks=8, steps=1, stages=6)
+    pipeline = get_variant("prepush")
+
+    def one():
+        return pipeline.run(app.source).unparse()
+
+    out = benchmark(one)
+    assert "mpi_isend" in out
+
+    reps = 5
+    t0 = perf_counter()
+    for _ in range(reps):
+        Compuniformer().transform(app.source).unparse()
+    mono_s = (perf_counter() - t0) / reps
+    t0 = perf_counter()
+    for _ in range(reps):
+        one()
+    piped_s = (perf_counter() - t0) / reps
+    benchmark.extra_info["monolith_s"] = round(mono_s, 5)
+    benchmark.extra_info["pipeline_s"] = round(piped_s, 5)
+    # generous bound: snapshots cost a few unparses, not an order of
+    # magnitude (guards against accidentally quadratic planning)
+    assert piped_s < mono_s * 10

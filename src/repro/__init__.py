@@ -5,7 +5,8 @@ Pollock, Swany; IPDPS 2006).
 The package implements the paper's **Compuniformer** source-to-source
 transformer for a mini-Fortran MPI subset, together with every substrate
 it needs: a frontend (:mod:`repro.lang`), dependence/region analyses
-(:mod:`repro.analysis`), the pre-push transformation
+(:mod:`repro.analysis`), the pre-push transformation as a composable
+pass pipeline with a registry of named variants
 (:mod:`repro.transform`), a deterministic discrete-event cluster
 simulator standing in for the paper's MPICH / MPICH-GM testbed
 (:mod:`repro.runtime`), an AST interpreter executing programs on that
@@ -65,6 +66,14 @@ from .runtime.collectives import (  # noqa: F401
     register_algorithm,
 )
 from .runtime.network import list_models, register_model  # noqa: F401
+from .transform.options import TransformOptions  # noqa: F401
+from .transform.pipeline import (  # noqa: F401
+    Pipeline,
+    PipelineReport,
+    get_variant,
+    list_variants,
+    register_variant,
+)
 from .transform.prepush import (  # noqa: F401
     Compuniformer,
     SiteReport,
@@ -94,6 +103,9 @@ __all__ = [
     "TransformReport",
     "SiteReport",
     "prepush",
+    "TransformOptions",
+    "Pipeline",
+    "PipelineReport",
     "parse",
     "unparse",
     # verification
@@ -105,6 +117,9 @@ __all__ = [
     "register_model",
     "list_algorithms",
     "register_algorithm",
+    "list_variants",
+    "register_variant",
+    "get_variant",
     # the full error hierarchy
     "ReproError",
     "SourceError",

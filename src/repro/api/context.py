@@ -29,6 +29,8 @@ from ..lang.ast_nodes import SourceFile
 from ..runtime.collectives import CollectiveSpec
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import NetworkModel
+from ..transform.options import TransformOptions
+from ..transform.pipeline import Pipeline
 
 __all__ = [
     "UNSET",
@@ -60,6 +62,7 @@ class _Unset:
 UNSET = _Unset()
 
 NetworkLike = Union[str, NetworkModel]
+VariantLike = Union[str, Pipeline]
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,10 @@ class ExecutionContext:
     jobs: Optional[int] = None
     detect_races: bool = True
     verify: bool = True
+    #: default transformation variant of prepare/compare/verify/
+    #: transform — a registered pipeline name or a Pipeline instance,
+    #: resolved once at Session construction like ``network``
+    variant: VariantLike = "prepush"
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,14 @@ class Job:
     Only ``program`` and ``nranks`` are required; everything else
     inherits the session's :class:`ExecutionContext` (see the module
     docstring for the ``None``/``UNSET`` convention).
+
+    ``variant`` is the one deliberate exception to the inheritance
+    rule: ``None`` means *run the program exactly as given* — NOT
+    "inherit the context's variant" — because a raw Job is a
+    simulation request, not a workload comparison.  Set it (a
+    registered pipeline name or a Pipeline) to have the session
+    transform the program first; the pipeline's identity and the
+    ``options`` then travel into the job's cache fingerprint.
     """
 
     program: Union[str, SourceFile]
@@ -104,14 +119,22 @@ class Job:
     externals: Optional[ExternalRegistry] = None
     detect_races: Optional[bool] = None
     label: str = ""
+    variant: Optional[VariantLike] = None
+    options: Optional[TransformOptions] = None
 
 
 @dataclass(frozen=True)
 class CompareRequest:
-    """Transform one workload and measure original vs. pre-pushed.
+    """Transform one workload and measure original vs. transformed.
 
     ``verify=None`` inherits the context's ``verify`` flag (§4
-    equivalence check of the pair before measuring).
+    equivalence check of the pair before measuring); ``variant=None``
+    inherits the context's default transformation variant.  The knobs
+    may be given either as one frozen
+    :class:`~repro.transform.options.TransformOptions` (``options=``)
+    or through the legacy ``tile_size``/``interchange`` fields — the
+    Session folds the legacy pair into an options object; setting
+    ``options`` *and* a non-default legacy field raises.
     """
 
     app: Any  # an AppSpec from repro.apps
@@ -121,17 +144,19 @@ class CompareRequest:
     network: Optional[NetworkLike] = None
     collective: Union[_Unset, CollectiveSpec] = UNSET
     cost_model: Optional[CostModel] = None
+    variant: Optional[VariantLike] = None
+    options: Optional[TransformOptions] = None
 
 
 @dataclass(frozen=True)
 class VerifyRequest:
     """Transform a source program and check §4 output equivalence.
 
-    ``oracle`` is forwarded to the
-    :class:`~repro.transform.prepush.Compuniformer` for the
+    ``oracle`` is forwarded to the transformation pipeline for the
     semi-automatic workflow (§3.1).  ``check=True`` raises
     :class:`~repro.errors.VerificationError` on mismatch instead of
-    returning a failing report.
+    returning a failing report.  ``variant``/``options`` follow the
+    same rules as :class:`CompareRequest`.
     """
 
     program: Union[str, SourceFile]
@@ -144,3 +169,5 @@ class VerifyRequest:
     cost_model: Optional[CostModel] = None
     externals: Optional[ExternalRegistry] = None
     check: bool = False
+    variant: Optional[VariantLike] = None
+    options: Optional[TransformOptions] = None

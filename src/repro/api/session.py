@@ -50,10 +50,19 @@ from ..interp.runner import (
     execute_job,
     run_many,
 )
+from ..errors import ReproError
 from ..lang.ast_nodes import SourceFile
 from ..runtime.collectives import CollectiveSpec, resolve_suite
 from ..runtime.costmodel import CostModel
 from ..runtime.network import NetworkModel, resolve_model
+from ..transform.options import TransformOptions, fold_legacy_options
+from ..transform.pipeline import (
+    Pipeline,
+    PipelineReport,
+    resolve_variant,
+    variant_identity,
+    variant_label,
+)
 from ..transform.prepush import TransformReport
 from ..verify import EquivalenceReport, verify_transform
 from .context import (
@@ -130,6 +139,7 @@ class Session:
         self.collective_suite: Dict[str, str] = resolve_suite(
             context.collective
         )
+        self.variant_pipeline: Pipeline = resolve_variant(context.variant)
         self.cost_model: CostModel = context.cost_model
         self.cache: Optional[SweepCache] = _as_cache(context.cache_dir)
         self.jobs: Optional[int] = context.jobs
@@ -208,11 +218,68 @@ class Session:
     def _resolve_cost_model(self, value: Optional[CostModel]) -> CostModel:
         return self.cost_model if value is None else value
 
+    def _resolve_variant(self, value: Any) -> Pipeline:
+        return (
+            self.variant_pipeline if value is None else resolve_variant(value)
+        )
+
+    @staticmethod
+    def _resolve_options(request: Any) -> TransformOptions:
+        """One :class:`TransformOptions` from a request's ``options``
+        field or its legacy ``tile_size``/``interchange`` pair (the
+        shared :func:`~repro.transform.options.fold_legacy_options`
+        rule: both at once raises)."""
+        return fold_legacy_options(
+            request.options,
+            request.tile_size,
+            request.interchange,
+            exc=ReproError,
+        )
+
     def cluster_job(self, job: Job) -> ClusterJob:
         """Resolve one :class:`~repro.api.Job` against this session into
-        the engine's :class:`~repro.interp.runner.ClusterJob`."""
+        the engine's :class:`~repro.interp.runner.ClusterJob`.
+
+        A job naming a transformation ``variant`` is transformed here —
+        the resolved program plus the pipeline's identity (which
+        :func:`~repro.interp.runner.job_fingerprint` folds into the
+        cache key) go into the engine job.
+        """
+        program = job.program
+        identity = None
+        if job.variant is not None:
+            pipeline = resolve_variant(job.variant)
+            options = (
+                job.options if job.options is not None else TransformOptions()
+            )
+            # only .source is consumed here; skip the per-pass snapshots
+            report = pipeline.run(program, options, snapshots=False)
+            if not report.changed and (
+                report.rejections
+                or not (pipeline.partial or pipeline.empty)
+            ):
+                # the caller asked for a transformation and none
+                # happened — either a full-rewrite variant found
+                # nothing, or a site was outright rejected; running
+                # the original instead would silently measure the
+                # wrong program
+                raise ReproError(
+                    f"variant {pipeline.name or 'pipeline'!r} "
+                    f"transformed nothing in job "
+                    f"{job.label or job.nranks!r}:\n  "
+                    + "\n  ".join(
+                        r.reason for r in report.rejections
+                    )
+                )
+            program = report.source
+            identity = variant_identity(pipeline, options)
+        elif job.options is not None:
+            raise ReproError(
+                "Job.options only configures a transformation; set "
+                "Job.variant to name the pipeline it applies to"
+            )
         return ClusterJob(
-            program=job.program,
+            program=program,
             nranks=job.nranks,
             network=self._resolve_network(job.network),
             cost_model=self._resolve_cost_model(job.cost_model),
@@ -224,6 +291,7 @@ class Session:
             externals=job.externals,
             label=job.label,
             collective=self._resolve_collective(job.collective),
+            variant=identity,
         )
 
     # ------------------------------------------------------- execution
@@ -253,16 +321,48 @@ class Session:
             collective=resolved.collective,
         )
 
+    def transform(
+        self,
+        program: Union[str, SourceFile],
+        *,
+        variant: Union[None, str, Pipeline] = None,
+        options: Optional[TransformOptions] = None,
+        oracle: Any = None,
+        snapshots: bool = True,
+    ) -> PipelineReport:
+        """Run a transformation pipeline over a bare program.
+
+        ``variant=None`` inherits the session's default
+        (``ExecutionContext.variant``, resolved at construction); the
+        returned :class:`~repro.transform.pipeline.PipelineReport`
+        carries the per-pass chain and — unless ``snapshots=False`` —
+        the intermediate program texts.
+        """
+        pipeline = self._resolve_variant(variant)
+        return pipeline.run(
+            program,
+            options if options is not None else TransformOptions(),
+            oracle=oracle,
+            snapshots=snapshots,
+        )
+
     def prepare(
         self, request: Union[CompareRequest, AppSpec]
     ) -> PreparedApp:
         """Transform (and optionally §4-check) one workload for reuse
-        across measurements — the cached half of :meth:`compare`."""
+        across measurements — the cached half of :meth:`compare`.
+
+        The returned :class:`~repro.harness.runner.PreparedApp` exposes
+        the full per-pass report chain on ``.transform`` (a
+        :class:`~repro.transform.pipeline.PipelineReport`) instead of
+        discarding it.
+        """
         request = self._as_compare(request)
+        pipeline = self._resolve_variant(request.variant)
         return PreparedApp(
             request.app,
-            tile_size=request.tile_size,
-            interchange=request.interchange,
+            options=self._resolve_options(request),
+            variant=pipeline,
             verify=(
                 self.context.verify
                 if request.verify is None
@@ -294,21 +394,17 @@ class Session:
         """
         if not isinstance(request, VerifyRequest):
             request = VerifyRequest(program=request)
-        transform_kwargs: Dict[str, Any] = {
-            "interchange": request.interchange
-        }
-        if request.oracle is not None:
-            transform_kwargs["oracle"] = request.oracle
         equivalence, report = verify_transform(
             request.program,
             request.nranks,
-            tile_size=request.tile_size,
+            options=self._resolve_options(request),
+            variant=self._resolve_variant(request.variant),
+            oracle=request.oracle,
             network=self._resolve_network(request.network),
             cost_model=self._resolve_cost_model(request.cost_model),
             externals=request.externals,
             collective=self._resolve_collective(request.collective),
             check=request.check,
-            **transform_kwargs,
         )
         return VerifyResult(equivalence=equivalence, transform=report)
 
@@ -341,6 +437,7 @@ class Session:
         return (
             f"Session(network={self.network.name!r}, "
             f"collective={self.collective_suite!r}, "
+            f"variant={variant_label(self.variant_pipeline)!r}, "
             f"cache={'on' if self.cache else 'off'}, "
             f"jobs={self.jobs}, pool={pool})"
         )

@@ -13,6 +13,7 @@ Subcommands mirror the workflow of the paper's system:
 ``apps``       list the built-in workloads (with generated source on demand)
 ``networks``   list the registered network scenarios (the preset registry)
 ``collectives`` list the registered collective algorithms (defaults marked)
+``variants``   list the registered transformation-variant pipelines
 ``figure1``    regenerate the paper's Figure 1 table
 ``bench``      run one or all ablation tables
 ``sweep``      the declarative sweep engine: run figure/ablation sweeps
@@ -37,22 +38,34 @@ host-driven Ethernet).  Models registered at runtime via
 ``bench collectives`` sweeps the whole algorithm x network x workload
 axis.
 
+``--variant`` selects a transformation pipeline from the variant
+registry (:mod:`repro.transform.pipeline`): ``original``, ``prepush``,
+partial ablations like ``tile-only``/``no-interchange``/
+``prepush-schemeB-off``, or any pipeline registered at runtime with
+``register_variant``.  ``run --variant X`` transforms before
+simulating (``--report`` prints the per-pass chain); ``bench
+variants`` sweeps the whole variant x network x workload axis.
+
 Examples::
 
     compuniformer transform kernel.f90 -K 16 -o kernel_pp.f90
     compuniformer run kernel.f90 -n 8 --network gmnet
     compuniformer run kernel.f90 -n 8 --collective alltoall=bruck
+    compuniformer run kernel.f90 -n 8 --variant prepush --report
     compuniformer verify kernel.f90 -n 8 --network rdma-100g
     compuniformer networks
     compuniformer collectives
+    compuniformer variants
     compuniformer figure1 --n 32
     compuniformer bench tile_size --network gm-2rail
     compuniformer bench workloads --collective ring
+    compuniformer bench nodeloop --variant tile-only
     compuniformer bench scenarios --processes 8
     compuniformer sweep figure1 --cache-dir .sweep-cache --jobs 4
     compuniformer sweep all --cache-dir .sweep-cache
+    compuniformer sweep variants --variant prepush-schemeB-off
     compuniformer sweep --app fft --n 16 --nranks 4 --tile-size 2 \\
-        --tile-size 4 --network gmnet --network rdma-100g -o sweep.json
+        --tile-size 4 --variant tile-only --network gmnet -o sweep.json
     compuniformer sweep --spec myspec.json --no-cache
 
 ``sweep`` is the cached path to every figure: the first (cold) run
@@ -80,6 +93,7 @@ from .harness import (
     ablation_scaling,
     ablation_scenarios,
     ablation_tile_size,
+    ablation_variants,
     ablation_workloads,
     bar_chart,
     figure1,
@@ -90,6 +104,8 @@ from .runtime.collectives import (
     list_algorithms,
 )
 from .runtime.network import get_model, list_models
+from .transform.options import TransformOptions
+from .transform.pipeline import get_variant, list_variants
 from .transform.prepush import Compuniformer
 
 _BENCHES = {
@@ -100,6 +116,7 @@ _BENCHES = {
     "nodeloop": ablation_nodeloop,
     "scenarios": ablation_scenarios,
     "collectives": ablation_collectives,
+    "variants": ablation_variants,
 }
 
 #: benches that accept a ``network=`` keyword (the others sweep their own)
@@ -108,6 +125,10 @@ _BENCHES_WITH_NETWORK = {"tile_size", "scaling", "workloads", "nodeloop"}
 #: benches that accept a ``collective=`` keyword ("collectives" sweeps
 #: every registered algorithm itself)
 _BENCHES_WITH_COLLECTIVE = {"tile_size", "scaling", "workloads", "nodeloop"}
+
+#: benches whose treatment arm is selectable via ``--variant``
+#: (for "variants" the flag restricts the swept axis instead)
+_BENCHES_WITH_VARIANT = {"tile_size", "scaling", "workloads", "nodeloop"}
 
 
 def _read_source(path: str) -> str:
@@ -177,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--nranks", type=int, required=True)
     _add_network_arg(p)
     _add_collective_arg(p)
+    p.add_argument(
+        "--variant",
+        choices=list_variants(),
+        default=None,
+        help="transform the program through this registered pipeline "
+        "before simulating; see 'compuniformer variants'",
+    )
+    p.add_argument(
+        "-K",
+        "--tile-size",
+        type=_tile_size,
+        default="auto",
+        help="tile size for --variant transformations (default: auto)",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-pass transformation report chain "
+        "(requires --variant)",
+    )
 
     p = sub.add_parser(
         "verify", help="transform and check output equivalence (§4)"
@@ -195,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "collectives", help="list the registered collective algorithms"
+    )
+
+    sub.add_parser(
+        "variants",
+        help="list the registered transformation-variant pipelines",
     )
 
     p = sub.add_parser("figure1", help="regenerate the paper's Figure 1")
@@ -221,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="session process-pool size shared by the bench sweeps",
+    )
+    p.add_argument(
+        "--variant",
+        choices=list_variants(),
+        default=None,
+        help="treatment-arm pipeline for the ablations that compare "
+        "original vs one variant (where applicable)",
     )
     _add_collective_arg(p)
 
@@ -265,9 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--variant",
         action="append",
-        choices=["original", "prepush"],
+        choices=list_variants(),
         default=None,
-        help="variant axis value (repeatable; default both)",
+        help="variant axis value (repeatable; default original+prepush; "
+        "see 'compuniformer variants')",
     )
     p.add_argument(
         "--interchange",
@@ -355,12 +409,56 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.transformed else 2
 
     if args.command == "run":
+        if args.report and not args.variant:
+            raise ReproError(
+                "--report prints a transformation report; pick the "
+                "pipeline with --variant (see 'compuniformer variants')"
+            )
+        if args.tile_size != "auto" and not args.variant:
+            raise ReproError(
+                "-K/--tile-size configures a transformation; pick the "
+                "pipeline with --variant (see 'compuniformer variants')"
+            )
         session = Session(
             network=args.network, collective=args.collective
         )
-        m = session.measure(
-            Job(program=_read_source(args.file), nranks=args.nranks)
-        )
+        program = _read_source(args.file)
+        report = None
+        if args.variant:
+            options = TransformOptions(tile_size=args.tile_size)
+            # this run feeds --report and the "unchanged" note only;
+            # snapshots (one unparse per pass) are captured just for
+            # --report, and the job below re-transforms under
+            # cluster_job so the policy/provenance live in one place
+            report = session.transform(
+                program,
+                variant=args.variant,
+                options=options,
+                snapshots=args.report,
+            )
+            if args.report:
+                print(report.describe_passes(), file=sys.stderr)
+            # Session.cluster_job owns the transform-before-run policy
+            # (raise when a full-rewrite variant transforms nothing,
+            # tolerate deliberately-partial pipelines) and attaches the
+            # variant provenance to the job
+            job = Job(
+                program=program,
+                nranks=args.nranks,
+                variant=args.variant,
+                options=options,
+            )
+        else:
+            job = Job(program=program, nranks=args.nranks)
+        m = session.measure(job)
+        if args.variant:
+            print(f"variant:        {args.variant}")
+            if report is not None and not report.changed:
+                print(
+                    f"note: variant {args.variant!r} left the program "
+                    "unchanged",
+                    file=sys.stderr,
+                )
         print(f"network:        {m.network}")
         print(f"collectives:    {m.collective}")
         print(f"makespan:       {m.time:.6g} s")
@@ -454,6 +552,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"{coll:12s} {names}")
         return 0
 
+    if args.command == "variants":
+        for name in list_variants():
+            pipe = get_variant(name)
+            chain = " -> ".join(p.name for p in pipe.passes)
+            print(f"{name:20s} {chain or '(empty: program unchanged)'}")
+        return 0
+
     if args.command == "bench":
         names = sorted(_BENCHES) if args.name == "all" else [args.name]
         with Session(jobs=args.processes) as session:
@@ -461,10 +566,14 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kwargs = {}
                 if args.network and name in _BENCHES_WITH_NETWORK:
                     kwargs["network"] = args.network
-                if args.network and name == "collectives":
+                if args.network and name in ("collectives", "variants"):
                     kwargs["networks"] = (args.network,)
                 if args.collective and name in _BENCHES_WITH_COLLECTIVE:
                     kwargs["collective"] = args.collective
+                if args.variant and name in _BENCHES_WITH_VARIANT:
+                    kwargs["variant"] = args.variant
+                if args.variant and name == "variants":
+                    kwargs["variants"] = (args.variant,)
                 print(_BENCHES[name](session=session, **kwargs).render())
                 print()
         return 0
@@ -520,20 +629,30 @@ def _custom_spec(args: argparse.Namespace) -> "SweepSpec":
     )
 
 
-def _check_figure_flags(args: argparse.Namespace) -> None:
+#: repeatable flag -> the plural keyword a figure may accept instead of
+#: the single-valued one (``ablation_variants(variants=...)``,
+#: ``ablation_collectives(networks=...)``)
+_PLURAL_FIGURE_KEYS = {"--network": "networks", "--variant": "variants"}
+
+
+def _check_figure_flags(
+    args: argparse.Namespace, accepted=None
+) -> None:
     """Reject sweep flags no figure target can honor.
 
     A figure's axes are its own; silently dropping or collapsing a flag
     would run a different sweep than the one asked for.  Multi-valued
-    and axis-only flags always error here; single-valued flags a
-    specific figure does not accept error in :func:`_figure_kwargs` —
-    only ``all`` forwards flags "where applicable", like ``bench`` does.
+    and axis-only flags error here — except when the (single, strict)
+    target accepts the plural keyword (``accepted`` holds its
+    parameter names), in which case the repeated values feed that axis.
+    Single-valued flags a specific figure does not accept error in
+    :func:`_figure_kwargs` — only ``all`` forwards flags "where
+    applicable", like ``bench`` does.
     """
+    accepted = accepted or set()
     rejected = []
     if args.tile_size:
         rejected.append("--tile-size/-K")
-    if args.variant:
-        rejected.append("--variant")
     if args.interchange:
         rejected.append("--interchange")
     for flag, values in (
@@ -541,8 +660,11 @@ def _check_figure_flags(args: argparse.Namespace) -> None:
         ("--network", args.network),
         ("--collective", args.collective),
         ("--cpu-scale", args.cpu_scale),
+        ("--variant", args.variant),
     ):
         if values and len(values) > 1:
+            if _PLURAL_FIGURE_KEYS.get(flag) in accepted:
+                continue
             rejected.append(f"repeated {flag}")
     if rejected:
         raise ReproError(
@@ -568,9 +690,18 @@ def _figure_kwargs(fn, args: argparse.Namespace, strict: bool) -> dict:
             args.cpu_scale[0] if args.cpu_scale else None,
         ),
         "network": ("--network", args.network[0] if args.network else None),
+        "networks": (
+            "--network",
+            tuple(args.network) if args.network else None,
+        ),
         "collective": (
             "--collective",
             args.collective[0] if args.collective else None,
+        ),
+        "variant": ("--variant", args.variant[0] if args.variant else None),
+        "variants": (
+            "--variant",
+            tuple(args.variant) if args.variant else None,
         ),
         "verify": ("--no-verify", False if args.no_verify else None),
     }
@@ -580,9 +711,19 @@ def _figure_kwargs(fn, args: argparse.Namespace, strict: bool) -> dict:
         if value is not None
     }
     if strict:
-        unusable = [
-            flag for key, (flag, _) in provided.items() if key not in accepted
-        ]
+        # one CLI flag may map to several candidate keywords (--variant
+        # feeds `variant` or `variants`); it is unusable only when the
+        # figure accepts none of them
+        accepted_flags = {
+            flag for key, (flag, _) in provided.items() if key in accepted
+        }
+        unusable = sorted(
+            {
+                flag
+                for key, (flag, _) in provided.items()
+                if key not in accepted and flag not in accepted_flags
+            }
+        )
         if unusable:
             raise ReproError(
                 f"{', '.join(unusable)} not supported by this figure "
@@ -668,7 +809,14 @@ def _sweep_command(args: argparse.Namespace) -> int:
             figures = dict(_BENCHES, figure1=figure1)
             target = args.target or "all"
             strict = target != "all"
-            _check_figure_flags(args)
+            _check_figure_flags(
+                args,
+                accepted=(
+                    set(inspect.signature(figures[target]).parameters)
+                    if strict
+                    else None
+                ),
+            )
             names = sorted(figures) if target == "all" else [target]
             for name in names:
                 fn = figures[name]

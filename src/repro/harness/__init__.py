@@ -9,6 +9,7 @@ from .figures import (  # noqa: F401
     ablation_scaling,
     ablation_scenarios,
     ablation_tile_size,
+    ablation_variants,
     ablation_workloads,
     figure1,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "ablation_nodeloop",
     "ablation_scenarios",
     "ablation_collectives",
+    "ablation_variants",
     "Table",
     "bar_chart",
     "format_seconds",

@@ -41,6 +41,7 @@ from ..runtime.network import (
     list_models,
     resolve_model,
 )
+from ..transform.pipeline import Pipeline, list_variants, variant_label
 from .report import Table
 from .sweep import SweepCache, SweepSpec, _execute_sweep, collective_label
 
@@ -56,10 +57,27 @@ __all__ = [
     "ablation_nodeloop",
     "ablation_scenarios",
     "ablation_collectives",
+    "ablation_variants",
 ]
 
 NetworkLike = Union[str, NetworkModel]
 CacheLike = Union[None, str, Path, SweepCache]
+VariantLike = Union[str, Pipeline]
+
+
+def _treatment_variant(variant: VariantLike) -> str:
+    """The label of a figure's treatment arm, which must transform.
+
+    Figures comparing "original vs <variant>" cannot use ``original``
+    (or any duplicate of the baseline) as the treatment.
+    """
+    label = variant_label(variant)
+    if label == "original":
+        raise ReproError(
+            "variant='original' is the baseline arm; pick a "
+            f"transforming variant (registered: {list_variants()})"
+        )
+    return label
 
 
 def _sweep(
@@ -104,12 +122,16 @@ def figure1(
     tile_size: Union[int, str] = "auto",
     cpu_scale: float = 8.0,
     verify: bool = True,
+    variant: VariantLike = "prepush",
     cache: CacheLike = None,
     jobs: Optional[int] = None,
     session: "Optional[Session]" = None,
 ) -> Table:
     """Paper Figure 1: normalized execution time, Original vs Prepush,
     under the host-based stack (MPICH) and the NIC-offload stack (MPICH-GM).
+
+    ``variant`` selects the treatment arm from the variant registry
+    (default ``"prepush"``; any registered pipeline name works).
 
     The workload is the paper's §4 indirect-pattern test program.  The
     expected shape: MPICH bars tallest (slow host-driven network, little
@@ -124,11 +146,13 @@ def figure1(
     transferred element than an integer hash; EXPERIMENTS.md records the
     sensitivity.
     """
+    vname = _treatment_variant(variant)
     spec = SweepSpec(
         name="figure1",
         app="indirect",
         app_kwargs={"n": n, "stages": stages},
         nranks=(nranks,),
+        variants=("original", variant),
         tile_sizes=(tile_size,),
         networks=(MPICH_P4, MPICH_GM),
         cpu_scales=(cpu_scale,),
@@ -153,19 +177,20 @@ def figure1(
     )
     for stack in (MPICH_P4, MPICH_GM):
         original = res.get(network=stack.name, variant="original")
-        prepush = res.get(network=stack.name, variant="prepush")
-        for variant, run in (("original", original), ("prepush", prepush)):
+        prepush = res.get(network=stack.name, variant=vname)
+        for label, run in (("original", original), (vname, prepush)):
             m = run.measurement
             table.add(
                 stack.name,
-                variant,
+                label,
                 m.time,
                 m.time / floor,
                 original.measurement.time / m.time,
             )
+        sites = prepush.transform.sites if prepush.transform else []
         table.notes.append(
-            f"{stack.name}: K={prepush.transform.sites[0].tile_size}, "
-            f"{prepush.measurement.messages} msgs prepush vs "
+            f"{stack.name}: K={sites[0].tile_size if sites else '-'}, "
+            f"{prepush.measurement.messages} msgs {vname} vs "
             f"{original.measurement.messages} original"
         )
     return table
@@ -181,6 +206,7 @@ def ablation_tile_size(
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    variant: VariantLike = "prepush",
     cache: CacheLike = None,
     jobs: Optional[int] = None,
     session: "Optional[Session]" = None,
@@ -195,6 +221,7 @@ def ablation_tile_size(
     same program at every K.
     """
     network = resolve_model(network)
+    vname = _treatment_variant(variant)
     if ks is None:
         ks = [k for k in (1, 4, 8, 16, 32, 64, n) if k <= n]
     # dedupe, order-preserving: the default list repeats n when n is a
@@ -208,6 +235,7 @@ def ablation_tile_size(
             app="fft",
             app_kwargs={"n": n, "steps": steps, "stages": stages},
             nranks=(nranks,),
+            variants=("original", variant),
             tile_sizes=tuple(tiles),
             networks=(network,),
             collectives=(collective,),
@@ -228,10 +256,11 @@ def ablation_tile_size(
     )
     baseline = res.measurement(variant="original", tile_size=ks[0]).time
     for k in ks:
-        run = res.get(variant="prepush", tile_size=k)
+        run = res.get(variant=vname, tile_size=k)
+        sites = run.transform.sites if run.transform else []
         table.add(
             k,
-            run.transform.sites[0].comm_rounds,
+            sites[0].comm_rounds if sites else "-",
             run.measurement.time,
             baseline / run.measurement.time,
             run.measurement.messages,
@@ -249,17 +278,20 @@ def ablation_scaling(
     network: NetworkLike = MPICH_GM,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    variant: VariantLike = "prepush",
     cache: CacheLike = None,
     jobs: Optional[int] = None,
     session: "Optional[Session]" = None,
 ) -> Table:
     """Ablation B: cluster-size scaling of the prepush benefit."""
     network = resolve_model(network)
+    vname = _treatment_variant(variant)
     spec = SweepSpec(
         name="scaling",
         app="fft",
         app_kwargs={"n": n, "steps": steps, "stages": stages},
         nranks=tuple(nranks_list),
+        variants=("original", variant),
         networks=(network,),
         collectives=(collective,),
         verify=verify,
@@ -267,11 +299,11 @@ def ablation_scaling(
     res = _sweep(spec, session=session, cache=cache, jobs=jobs)
     table = Table(
         title=f"Ablation B — cluster size sweep (fft n={n}, {network.name})",
-        columns=["NP", "time_original_s", "time_prepush_s", "speedup"],
+        columns=["NP", "time_original_s", f"time_{vname}_s", "speedup"],
     )
     for nranks in nranks_list:
         t_orig = res.measurement(variant="original", nranks=nranks).time
-        t_pp = res.measurement(variant="prepush", nranks=nranks).time
+        t_pp = res.measurement(variant=vname, nranks=nranks).time
         table.add(nranks, t_orig, t_pp, _speedup(t_orig, t_pp))
     return table
 
@@ -368,6 +400,7 @@ def ablation_workloads(
     cpu_scale: float = 4.0,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    variant: VariantLike = "prepush",
     cache: CacheLike = None,
     jobs: Optional[int] = None,
     session: "Optional[Session]" = None,
@@ -379,6 +412,7 @@ def ablation_workloads(
     gain least — its traffic is the §3.5 congested shape.
     """
     network = resolve_model(network)
+    vname = _treatment_variant(variant)
     sizes = sizes or {}
     specs = []
     for key, app_name, kwargs in _WORKLOAD_ROSTER:
@@ -392,6 +426,7 @@ def ablation_workloads(
                 app=app_name,
                 app_kwargs=kwargs,
                 nranks=(nranks,),
+                variants=("original", variant),
                 networks=(network,),
                 collectives=(collective,),
                 cpu_scales=(cpu_scale,),
@@ -407,19 +442,23 @@ def ablation_workloads(
             "scheme",
             "K",
             "time_original_s",
-            "time_prepush_s",
+            f"time_{vname}_s",
             "speedup",
         ],
     )
     for key, _, _ in _WORKLOAD_ROSTER:
-        prepush = res.get(spec=f"workloads-{key}", variant="prepush")
+        prepush = res.get(spec=f"workloads-{key}", variant=vname)
         original = res.get(spec=f"workloads-{key}", variant="original")
-        site = prepush.transform.sites[0]
+        sites = (
+            prepush.transform.sites
+            if prepush.transform is not None
+            else []
+        )
         table.add(
             prepush.axes["app"],
-            site.kind.value,
-            site.scheme,
-            site.tile_size,
+            sites[0].kind.value if sites else "-",
+            sites[0].scheme if sites else "-",
+            sites[0].tile_size if sites else "-",
             original.measurement.time,
             prepush.measurement.time,
             _speedup(original.measurement.time, prepush.measurement.time),
@@ -437,6 +476,7 @@ def ablation_nodeloop(
     cpu_scale: float = 4.0,
     verify: bool = True,
     collective: CollectiveSpec = None,
+    variant: VariantLike = "prepush",
     cache: CacheLike = None,
     jobs: Optional[int] = None,
     session: "Optional[Session]" = None,
@@ -450,11 +490,13 @@ def ablation_nodeloop(
     efficiency loss the paper warns about.
     """
     network = resolve_model(network)
+    vname = _treatment_variant(variant)
     spec = SweepSpec(
         name="nodeloop",
         app="nodeloop",
         app_kwargs={"n": n, "steps": steps, "stages": stages},
         nranks=(nranks,),
+        variants=("original", variant),
         interchange=("auto", "never"),
         networks=(network,),
         collectives=(collective,),
@@ -472,18 +514,23 @@ def ablation_nodeloop(
     # the original program is interchange-independent (the knob only
     # moves the transformed loop nest); the engine deduplicated it
     base = res.measurement(variant="original", interchange="auto").time
-    interchanged = res.get(variant="prepush", interchange="auto")
-    congested = res.get(variant="prepush", interchange="never")
+    interchanged = res.get(variant=vname, interchange="auto")
+    congested = res.get(variant=vname, interchange="never")
     table.add("original", "-", base, 1.0)
+
+    def _scheme(run) -> str:
+        sites = run.transform.sites if run.transform is not None else []
+        return sites[0].scheme if sites else "-"
+
     table.add(
-        "prepush+interchange",
-        interchanged.transform.sites[0].scheme,
+        f"{vname}+interchange",
+        _scheme(interchanged),
         interchanged.measurement.time,
         base / interchanged.measurement.time,
     )
     table.add(
-        "prepush-congested",
-        congested.transform.sites[0].scheme,
+        f"{vname}-congested",
+        _scheme(congested),
         congested.measurement.time,
         base / congested.measurement.time,
     )
@@ -658,5 +705,160 @@ def ablation_collectives(
                     model.name,
                     times[alg],
                     base / times[alg] if times[alg] > 0 else 1.0,
+                )
+    return table
+
+
+#: Ablation H roster: one workload per transformation shape — scheme A
+#: direct (fft), node-loop-outermost direct (nodeloop, where the
+#: interchange pass matters), and the indirect pattern (where the
+#: indirect-elim pass matters).
+_VARIANT_ROSTER: Tuple[Tuple[str, dict], ...] = (
+    ("fft", {"n": 96, "steps": 1, "stages": 6}),
+    ("nodeloop", {"n": 96, "steps": 1, "stages": 6}),
+    ("indirect", {"n": 32, "stages": 6}),
+)
+
+
+def _preflight_variants(names, labels, *, sizes, nranks, dropped):
+    """Filter auto-joined variants down to those every roster workload
+    survives (transform-only; no simulation).  Incompatible variants
+    land in ``dropped`` as ``label: reason`` strings."""
+    from ..apps import build_app
+    from ..transform.pipeline import resolve_variant
+    from .runner import PreparedApp
+
+    kept_names, kept_labels = [], []
+    for variant, label in zip(names, labels):
+        pipeline = resolve_variant(variant)
+        try:
+            if not pipeline.empty:
+                for app_name, kwargs in _VARIANT_ROSTER:
+                    kwargs = dict(kwargs)
+                    if app_name in sizes:
+                        kwargs["n"] = sizes[app_name]
+                    PreparedApp(
+                        build_app(app_name, nranks=nranks, **kwargs),
+                        variant=pipeline,
+                        verify=False,
+                        snapshots=False,
+                    )
+        except ReproError as exc:
+            dropped.append(f"{label}: {str(exc).splitlines()[0]}")
+            continue
+        kept_names.append(variant)
+        kept_labels.append(label)
+    return kept_names, kept_labels
+
+
+def ablation_variants(
+    *,
+    variants: Optional[Sequence[VariantLike]] = None,
+    networks: Sequence[NetworkLike] = ("hostnet", "gmnet"),
+    nranks: int = 8,
+    cpu_scale: float = 4.0,
+    verify: bool = True,
+    sizes: Optional[dict] = None,
+    cache: CacheLike = None,
+    jobs: Optional[int] = None,
+    session: "Optional[Session]" = None,
+) -> Table:
+    """Ablation H: the transformation-variant axis (variant × network ×
+    workload).
+
+    Sweeps every registered transformation pipeline — including partial
+    ablations like ``tile-only`` (no interchange, no copy-loop
+    elimination) and ``prepush-schemeB-off`` — over one workload per
+    transformation shape, under each network.  ``vs_original``
+    normalizes to the untransformed program on the same network, so >1
+    means the variant helped.  Pipelines registered at runtime with
+    :func:`~repro.transform.pipeline.register_variant` automatically
+    join the sweep; a variant that leaves a workload unchanged (e.g.
+    ``tile-only`` on the indirect kernel) is measured as-is and shows
+    speedup 1.0 with K='-'.
+    """
+    auto_roster = variants is None
+    if variants is None:
+        names: List[VariantLike] = list(list_variants())
+    else:
+        names = list(variants)
+    labels = [variant_label(v) for v in names]
+    if "original" not in labels:
+        names = ["original"] + names
+        labels = ["original"] + labels
+    models = [resolve_model(net) for net in networks]
+    sizes = sizes or {}
+    dropped: List[str] = []
+    if auto_roster:
+        # auto-joined variants are best effort: a runtime-registered
+        # full-rewrite pipeline that cannot transform one roster
+        # workload must not abort the whole table.  Pre-flight each
+        # variant (transform only — cheap) and drop the incompatible
+        # ones with a note; explicitly-requested variants still raise.
+        names, labels = _preflight_variants(
+            names, labels, sizes=sizes, nranks=nranks, dropped=dropped
+        )
+    specs = []
+    for app_name, kwargs in _VARIANT_ROSTER:
+        kwargs = dict(kwargs)
+        if app_name in sizes:
+            kwargs["n"] = sizes[app_name]
+        specs.append(
+            SweepSpec(
+                name=f"variants-{app_name}",
+                app=app_name,
+                app_kwargs=kwargs,
+                nranks=(nranks,),
+                variants=tuple(names),
+                networks=tuple(models),
+                cpu_scales=(cpu_scale,),
+                verify=verify,
+            )
+        )
+    res = _sweep(specs, session=session, cache=cache, jobs=jobs)
+    table = Table(
+        title=(
+            f"Ablation H — transformation variant sweep (NP={nranks}, "
+            f"{'/'.join(m.name for m in models)})"
+        ),
+        notes=[
+            f"dropped incompatible variant {d}" for d in dropped
+        ],
+        columns=[
+            "workload",
+            "variant",
+            "network",
+            "K",
+            "scheme",
+            "time_s",
+            "vs_original",
+        ],
+    )
+    for app_name, _ in _VARIANT_ROSTER:
+        for model in models:
+            base = res.measurement(
+                spec=f"variants-{app_name}",
+                variant="original",
+                network=model.name,
+            ).time
+            for label in labels:
+                run = res.get(
+                    spec=f"variants-{app_name}",
+                    variant=label,
+                    network=model.name,
+                )
+                own = (
+                    run.transform.sites
+                    if label != "original" and run.transform is not None
+                    else []
+                )
+                table.add(
+                    run.axes["app"],
+                    label,
+                    model.name,
+                    own[0].tile_size if own else "-",
+                    own[0].scheme if own else "-",
+                    run.measurement.time,
+                    _speedup(base, run.measurement.time),
                 )
     return table

@@ -23,7 +23,9 @@ from ..lang.ast_nodes import SourceFile
 from ..runtime.collectives import CollectiveSpec, describe_suite, resolve_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import NetworkModel, resolve_model
-from ..transform.prepush import Compuniformer, TransformReport
+from ..transform.options import TransformOptions, fold_legacy_options
+from ..transform.pipeline import Pipeline, resolve_variant, variant_label
+from ..transform.prepush import TransformReport
 from ..verify import compare_runs
 
 
@@ -209,32 +211,73 @@ class PreparedApp:
 
     Transforming and (especially) equivalence-checking are not free;
     sweeps over network parameters reuse the same pair of ASTs.
+
+    The transformation runs through the variant registry
+    (:mod:`repro.transform.pipeline`): ``variant`` names a registered
+    pipeline (default ``"prepush"``, bit-identical to the legacy
+    monolithic path) and ``options`` carries the knobs as one frozen
+    :class:`~repro.transform.options.TransformOptions`.  The legacy
+    ``tile_size=``/``interchange=`` keywords still work and are folded
+    into an options object; passing both forms raises.  ``.transform``
+    is a :class:`~repro.transform.pipeline.PipelineReport`, so the
+    per-pass chain and intermediate snapshots are inspectable on every
+    prepared workload (``snapshots=False`` skips capturing the
+    intermediate texts — the sweep engine does this, since it prepares
+    one app per axis combination and reads none of them).
+
+    Variants marked ``partial`` (e.g. ``tile-only`` on an indirect
+    workload) may legitimately leave the program unchanged and are
+    measured as-is; for full-rewrite pipelines an unchanged program is
+    an error.  ``allow_unchanged`` overrides that default (``None`` =
+    follow ``pipeline.partial``).  A program left *entirely* unchanged
+    because sites were rejected raises regardless; rejections alongside
+    at least one successful rewrite are reported, not raised — the
+    paper's semi-automatic convention, matching the legacy monolith.
     """
 
     def __init__(
         self,
         app: AppSpec,
         *,
-        tile_size: Union[int, str] = "auto",
-        interchange: str = "auto",
+        tile_size: Union[None, int, str] = None,
+        interchange: Optional[str] = None,
         verify: bool = True,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        options: Optional[TransformOptions] = None,
+        variant: Union[str, Pipeline] = "prepush",
+        allow_unchanged: Optional[bool] = None,
+        snapshots: bool = True,
     ) -> None:
+        options = fold_legacy_options(
+            options, tile_size, interchange, exc=ReproError
+        )
         self.app = app
         self.cost_model = cost_model
-        tool = Compuniformer(
-            tile_size=tile_size,
-            oracle=app.oracle,
-            interchange=interchange,
+        self.options = options
+        self.variant = resolve_variant(variant)
+        self.transform = self.variant.run(
+            app.source, options, oracle=app.oracle, snapshots=snapshots
         )
-        self.transform = tool.transform(app.source)
-        if not self.transform.transformed:
-            raise ReproError(
-                f"workload {app.name!r} was not transformed:\n  "
-                + "\n  ".join(r.reason for r in self.transform.rejections)
-            )
+        if allow_unchanged is None:
+            allow_unchanged = self.variant.partial or self.variant.empty
+        if not self.transform.changed:
+            # an unchanged program is acceptable only when the variant
+            # *intentionally* left it alone (a pipeline registered as
+            # partial, or the empty baseline).  A site the planner
+            # REJECTED is a failure whatever the variant — silently
+            # measuring the original would report a fake speedup of 1.0
+            if self.transform.rejections or not allow_unchanged:
+                raise ReproError(
+                    f"workload {app.name!r} was not transformed by "
+                    f"variant {variant_label(self.variant)!r}:\n  "
+                    + "\n  ".join(
+                        r.reason for r in self.transform.rejections
+                    )
+                )
         self.equivalent = True
-        if verify:
+        # verify whenever the program CHANGED — a site rewrite, or any
+        # other pass that touched the AST (§4 applies to both)
+        if verify and self.transform.changed:
             self._verify()
 
     def _verify(self) -> None:

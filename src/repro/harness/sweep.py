@@ -60,6 +60,14 @@ from ..runtime.collectives import (
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import IDEAL, NetworkModel, resolve_model
 from ..runtime.simulator import ENGINE_VERSION
+from ..transform.options import TransformOptions
+from ..transform.pipeline import (
+    Pipeline,
+    list_variants,
+    resolve_variant,
+    variant_identity,
+    variant_label,
+)
 from ..transform.prepush import TransformReport
 from .runner import Measurement, PreparedApp, measurement_from_run
 
@@ -77,8 +85,13 @@ __all__ = [
 ]
 
 NetworkLike = Union[str, NetworkModel]
+VariantLike = Union[str, Pipeline]
 
-#: Axis values accepted for the ``variants`` axis.
+#: Default ``variants`` axis: the classic original-vs-prepush pair.
+#: Any name registered with
+#: :func:`repro.transform.pipeline.register_variant` (or a raw
+#: :class:`~repro.transform.pipeline.Pipeline` instance) is a valid
+#: axis value.
 VARIANTS = ("original", "prepush")
 
 
@@ -114,7 +127,7 @@ class SweepSpec:
     app: str
     app_kwargs: Mapping[str, Any] = field(default_factory=dict)
     nranks: Sequence[int] = (8,)
-    variants: Sequence[str] = VARIANTS
+    variants: Sequence[VariantLike] = VARIANTS
     tile_sizes: Sequence[Union[int, str]] = ("auto",)
     interchange: Sequence[str] = ("auto",)
     networks: Sequence[NetworkLike] = ("gmnet",)
@@ -125,11 +138,28 @@ class SweepSpec:
     detect_races: bool = True
 
     def __post_init__(self) -> None:
-        unknown = set(self.variants) - set(VARIANTS)
-        if unknown:
+        unknown = sorted(
+            v
+            for v in self.variants
+            if isinstance(v, str) and v not in list_variants()
+        )
+        bad_types = [
+            v
+            for v in self.variants
+            if not isinstance(v, (str, Pipeline))
+        ]
+        if unknown or bad_types:
             raise ReproError(
-                f"sweep {self.name!r}: unknown variants {sorted(unknown)}; "
-                f"accepted: {VARIANTS}"
+                f"sweep {self.name!r}: unknown variants "
+                f"{unknown + [repr(v) for v in bad_types]}; "
+                f"accepted: registered names {list_variants()} or "
+                f"Pipeline instances"
+            )
+        labels = [variant_label(v) for v in self.variants]
+        if len(set(labels)) != len(labels):
+            raise ReproError(
+                f"sweep {self.name!r}: duplicate variant labels "
+                f"{sorted(labels)} would make axis lookups ambiguous"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -139,7 +169,7 @@ class SweepSpec:
             "app": self.app,
             "app_kwargs": dict(self.app_kwargs),
             "nranks": list(self.nranks),
-            "variants": list(self.variants),
+            "variants": [self._serializable_variant(v) for v in self.variants],
             "tile_sizes": list(self.tile_sizes),
             "interchange": list(self.interchange),
             "networks": [
@@ -153,6 +183,30 @@ class SweepSpec:
             "cpu_scales": list(self.cpu_scales),
             "verify": self.verify,
         }
+
+    @staticmethod
+    def _serializable_variant(v: VariantLike) -> str:
+        """A variant as a JSON-safe *reconstructible* name.
+
+        Serializing an unregistered Pipeline instance by label would be
+        lossy: loading the spec back would either fail validation or —
+        worse — silently resolve to a different registered pipeline of
+        the same name.  Such specs are refused here instead.
+        """
+        from ..transform.pipeline import get_variant
+
+        label = variant_label(v)
+        if isinstance(v, Pipeline):
+            if (
+                label not in list_variants()
+                or get_variant(label) is not v
+            ):
+                raise ReproError(
+                    f"cannot serialize unregistered pipeline variant "
+                    f"{label!r}; register_variant() it first so the "
+                    f"name round-trips"
+                )
+        return label
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
@@ -196,6 +250,9 @@ class SweepPoint:
     externals: Any = None
     transform: Optional[TransformReport] = None
     fingerprint: Optional[str] = None  # None = uncacheable (externals)
+    #: transformation provenance (pipeline identity + options) of
+    #: transformed points; None for the untransformed baseline
+    variant_id: Optional[Dict[str, Any]] = None
 
     def job(self) -> ClusterJob:
         return ClusterJob(
@@ -207,6 +264,7 @@ class SweepPoint:
             externals=self.externals,
             label=self.label,
             collective=self.collective,
+            variant=self.variant_id,
         )
 
 
@@ -343,36 +401,59 @@ def expand_spec(
 ) -> Tuple[List[SweepPoint], List[_Verification]]:
     """Expand one spec into its cross-product of points.
 
-    Each (nranks, tile, interchange) combination is transformed exactly
-    once and the resulting :class:`TransformReport` is attached to every
-    point it produced (both variants), so figures can read resolved tile
-    sizes and schemes without re-deriving them.  Verification requests
-    (one per transformed pair, when ``spec.verify``) come back separately
-    so :func:`run_sweep` can satisfy them from the cache or shard their
-    simulations into the same pool batch.
+    Each (nranks, tile, interchange, variant) combination is
+    transformed exactly once through the variant registry
+    (:mod:`repro.transform.pipeline`) and the resulting report is
+    attached to every point it produced, so figures can read resolved
+    tile sizes and schemes without re-deriving them; untransformed
+    baseline points carry the first transforming variant's report (the
+    classic "both variants see the prepush transform" contract).
+    Transformed points also carry the pipeline's identity + canonical
+    options, which :func:`~repro.interp.runner.job_fingerprint` folds
+    into the cache key.  Verification requests (one per *transformed*
+    variant, when ``spec.verify``) come back separately so
+    :func:`run_sweep` can satisfy them from the cache or shard their
+    simulations into the same pool batch; variants that leave a
+    program unchanged (e.g. ``tile-only`` on an indirect workload)
+    have nothing to verify and are measured as-is.
     """
     points: List[SweepPoint] = []
     verifications: List[_Verification] = []
-    needs_transform = "prepush" in spec.variants
+    resolved_variants = [
+        (variant_label(v), resolve_variant(v)) for v in spec.variants
+    ]
     first_cost = spec.base_cost_model.scaled(spec.cpu_scales[0])
 
     for nr in spec.nranks:
         app = build_app(spec.app, nranks=nr, **dict(spec.app_kwargs))
         for tile in spec.tile_sizes:
             for inter in spec.interchange:
-                prepared: Optional[PreparedApp] = None
-                if needs_transform:
-                    prepared = PreparedApp(
+                options = TransformOptions(
+                    tile_size=tile, interchange=inter
+                )
+                prepared: Dict[str, Optional[PreparedApp]] = {}
+                fallback: Optional[TransformReport] = None
+                for label, pipeline in resolved_variants:
+                    if pipeline.empty:
+                        prepared[label] = None
+                        continue
+                    pa = PreparedApp(
                         app,
-                        tile_size=tile,
-                        interchange=inter,
+                        options=options,
+                        variant=pipeline,
                         verify=False,
                         cost_model=first_cost,
+                        # nothing in the sweep reads intermediate
+                        # texts; skip one unparse per pass per point
+                        snapshots=False,
                     )
-                    if spec.verify:
+                    prepared[label] = pa
+                    if fallback is None:
+                        fallback = pa.transform
+                    if spec.verify and pa.transform.changed:
                         verifications.append(
                             _Verification(
-                                prepared=prepared,
+                                prepared=pa,
                                 original_job=ClusterJob(
                                     program=app.source,
                                     nranks=nr,
@@ -382,24 +463,31 @@ def expand_spec(
                                     label=f"{app.name}/verify-original",
                                 ),
                                 transformed_job=ClusterJob(
-                                    program=prepared.transform.source,
+                                    program=pa.transform.source,
                                     nranks=nr,
                                     network=IDEAL,
                                     cost_model=first_cost,
                                     externals=app.externals,
-                                    label=f"{app.name}/verify-prepush",
+                                    label=f"{app.name}/verify-{label}",
                                 ),
-                                key=_verification_key(prepared, first_cost),
+                                key=_verification_key(pa, first_cost),
                             )
                         )
                 for scale in spec.cpu_scales:
                     cost = spec.base_cost_model.scaled(scale)
-                    for variant in spec.variants:
+                    for label, pipeline in resolved_variants:
+                        pa = prepared[label]
                         program: Union[str, SourceFile]
-                        if variant == "original":
+                        if pa is None:
                             program = app.source
+                            transform = fallback
+                            variant_id = None
                         else:
-                            program = prepared.transform.source
+                            program = pa.transform.source
+                            transform = pa.transform
+                            variant_id = variant_identity(
+                                pipeline, options
+                            )
                         for network in spec.networks:
                             model = resolve_model(network)
                             for coll in spec.collectives:
@@ -408,7 +496,7 @@ def expand_spec(
                                         axes={
                                             "spec": spec.name,
                                             "app": app.name,
-                                            "variant": variant,
+                                            "variant": label,
                                             "nranks": nr,
                                             "tile_size": tile,
                                             "interchange": inter,
@@ -424,13 +512,10 @@ def expand_spec(
                                         collective=coll,
                                         cost_model=cost,
                                         detect_races=spec.detect_races,
-                                        label=f"{app.name}/{variant}",
+                                        label=f"{app.name}/{label}",
                                         externals=app.externals,
-                                        transform=(
-                                            prepared.transform
-                                            if prepared is not None
-                                            else None
-                                        ),
+                                        transform=transform,
+                                        variant_id=variant_id,
                                     )
                                 )
     return points, verifications

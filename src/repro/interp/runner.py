@@ -173,7 +173,15 @@ def run_serial(
 
 @dataclass
 class ClusterJob:
-    """One independent simulation in a batch (see :func:`run_many`)."""
+    """One independent simulation in a batch (see :func:`run_many`).
+
+    ``variant`` is optional *provenance*: when the program was produced
+    by a transformation pipeline, it carries the canonical identity of
+    that pipeline plus its options (see
+    :func:`repro.transform.pipeline.variant_identity`) so the sweep
+    cache can distinguish results by how the program was derived, not
+    only by its final text.  It does not affect the simulation itself.
+    """
 
     program: Union[str, SourceFile]
     nranks: int
@@ -183,6 +191,7 @@ class ClusterJob:
     externals: Optional[ExternalRegistry] = None
     label: str = ""
     collective: CollectiveSpec = None
+    variant: Optional[Dict[str, Any]] = None
 
     def program_text(self) -> str:
         """The job's program as source text (unparsing an AST input)."""
@@ -199,7 +208,11 @@ def job_fingerprint(job: ClusterJob) -> str:
     (program text, network parameters, cost model, collective suite,
     rank count, race detection) under one engine version — so that
     tuple, canonically serialized, IS the identity of the result.  The
-    sweep cache (§7) keys measurements by this hash.
+    sweep cache (§7) keys measurements by this hash.  A job carrying
+    transformation provenance (``variant``) additionally folds the
+    pipeline identity and canonical options into the key (§9), so a
+    re-registered variant or changed knob can never serve stale
+    entries.
 
     Jobs carrying an :class:`ExternalRegistry` embed arbitrary Python
     callables whose behavior cannot be content-hashed; fingerprinting
@@ -221,6 +234,14 @@ def job_fingerprint(job: ClusterJob) -> str:
         "collective": canonical_suite(job.collective),
         "detect_races": job.detect_races,
     }
+    if job.variant is not None:
+        # transformation provenance (pipeline identity + canonical
+        # TransformOptions): jobs whose programs came from different
+        # pipelines/options never share a cache entry, even if the
+        # transformed text happens to coincide.  Untransformed jobs
+        # omit the key, keeping their fingerprints stable across the
+        # introduction of the variant axis.
+        payload["variant"] = job.variant
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

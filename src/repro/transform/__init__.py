@@ -10,6 +10,8 @@ Submodules
 ``indirect``     §3.4 copy-loop elimination
 ``interchange``  §3.5 node-loop interchange
 ``prepush``      §3.6 whole-program rewrite (:class:`Compuniformer`)
+``options``      the frozen :class:`TransformOptions` knob object
+``pipeline``     composable pass pipeline + the variant registry
 """
 
 from .commgen import figure4_loop, peer_from_expr, peer_to_expr  # noqa: F401
@@ -23,6 +25,26 @@ from .interchange import (  # noqa: F401
 from .layout import SiteLayout, resolve_layout  # noqa: F401
 from .names import SiteNames  # noqa: F401
 from .naming import NamePool  # noqa: F401
+from .options import (  # noqa: F401
+    DEFAULT_TRANSFORM_OPTIONS,
+    TransformOptions,
+)
+from .pipeline import (  # noqa: F401
+    CommGenPass,
+    IndirectElimPass,
+    InterchangePass,
+    Pass,
+    PassReport,
+    PassResult,
+    Pipeline,
+    PipelineReport,
+    TilePass,
+    get_variant,
+    list_variants,
+    register_variant,
+    resolve_variant,
+    variant_label,
+)
 from .prepush import (  # noqa: F401
     AUTO,
     Compuniformer,
@@ -38,6 +60,22 @@ __all__ = [
     "TransformReport",
     "SiteReport",
     "prepush",
+    "TransformOptions",
+    "DEFAULT_TRANSFORM_OPTIONS",
+    "Pass",
+    "PassReport",
+    "PassResult",
+    "Pipeline",
+    "PipelineReport",
+    "InterchangePass",
+    "TilePass",
+    "CommGenPass",
+    "IndirectElimPass",
+    "register_variant",
+    "get_variant",
+    "list_variants",
+    "resolve_variant",
+    "variant_label",
     "Tiling",
     "choose_tile_size",
     "divisors",

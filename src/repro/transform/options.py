@@ -1,0 +1,109 @@
+"""The one frozen options object every transformation path shares.
+
+Before this module existed, ``tile_size`` / ``interchange`` were loose
+keyword arguments threaded separately through ``Compuniformer``,
+``PreparedApp``, the request dataclasses, and the sweep expansion — and
+the sweep cache had to hash each one ad hoc.  :class:`TransformOptions`
+collapses them into a single immutable value with a
+``canonical_params()`` serialization, exactly like
+:meth:`~repro.runtime.network.NetworkModel.canonical_params` and
+:meth:`~repro.runtime.costmodel.CostModel.canonical_params`: the same
+object configures a :class:`~repro.transform.pipeline.Pipeline` run and
+feeds the content-addressed sweep-cache fingerprint
+(:func:`~repro.interp.runner.job_fingerprint`), so the two can never
+disagree about what was requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Union
+
+from ..errors import TransformError
+
+#: Accepted ``tile_size`` sentinel asking for the built-in heuristic.
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """Knobs of one transformation run, validated at construction.
+
+    ``tile_size``
+        Iterations per tile (the paper's K), or :data:`AUTO` for the
+        heuristic in :func:`repro.transform.tiling.choose_tile_size`.
+    ``interchange``
+        ``"auto"`` interchanges the node loop inward when it is
+        outermost and legal (§3.5); ``"never"`` keeps the original loop
+        order (Ablation E measures the congestion cost).
+    ``max_sites``
+        Transform at most this many sites (``None`` = all).
+    """
+
+    tile_size: Union[int, str] = AUTO
+    interchange: str = "auto"
+    max_sites: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.tile_size, str) and self.tile_size != AUTO:
+            raise TransformError(
+                f"tile_size must be a positive int or {AUTO!r}"
+            )
+        if isinstance(self.tile_size, int) and self.tile_size < 1:
+            raise TransformError(
+                f"tile_size {self.tile_size} must be >= 1"
+            )
+        if self.interchange not in ("auto", "never"):
+            raise TransformError(
+                f"interchange must be 'auto' or 'never', "
+                f"not {self.interchange!r}"
+            )
+        if self.max_sites is not None and self.max_sites < 1:
+            raise TransformError(
+                f"max_sites {self.max_sites} must be >= 1 or None"
+            )
+
+    def canonical_params(self) -> Dict[str, Union[str, int, None]]:
+        """Stable, JSON-safe mapping of every option — field name →
+        scalar, no derived values — for the sweep-cache fingerprint
+        (DESIGN.md §7/§9).  Two options objects are fingerprint-equal
+        exactly when every field matches."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The all-defaults options every entry point shares.
+DEFAULT_TRANSFORM_OPTIONS = TransformOptions()
+
+
+def fold_legacy_options(
+    options: Optional[TransformOptions],
+    tile_size: Union[None, int, str] = None,
+    interchange: Optional[str] = None,
+    *,
+    exc: type = TransformError,
+) -> TransformOptions:
+    """One :class:`TransformOptions` from either form of the knobs.
+
+    The single copy of the folding rule every entry point
+    (``Session``, ``PreparedApp``, ``verify_transform``) shares:
+    ``options`` wins when it is the only source; giving ``options``
+    *and* a non-default legacy ``tile_size``/``interchange`` raises
+    ``exc`` — silently preferring one source would run a different
+    transformation than the caller asked for.  ``None`` and ``"auto"``
+    both mean "legacy knob not given".
+    """
+    legacy_given = tile_size not in (None, AUTO) or interchange not in (
+        None,
+        "auto",
+    )
+    if options is not None:
+        if legacy_given:
+            raise exc(
+                "options= already carries the transformation knobs; "
+                "drop the legacy tile_size=/interchange= arguments"
+            )
+        return options
+    return TransformOptions(
+        tile_size=AUTO if tile_size is None else tile_size,
+        interchange=interchange or "auto",
+    )

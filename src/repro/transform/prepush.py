@@ -22,6 +22,14 @@ convenience function :func:`prepush` (one call: text in, text out).
 Transformation never mutates the caller's AST — it deep-copies first —
 and unsuitable sites are reported, not raised, mirroring the paper's
 semi-automatic workflow.
+
+The site-level building blocks (:func:`resolve_tile_size`,
+:func:`try_interchange`, :func:`direct_rewrite`,
+:func:`indirect_rewrite`, :func:`insert_prolog`) are module-level
+functions shared with the composable pass pipeline
+(:mod:`repro.transform.pipeline`): the registered ``"prepush"``
+pipeline and this monolithic driver run the *same* code generators, so
+their outputs cannot drift apart.
 """
 
 from __future__ import annotations
@@ -67,10 +75,8 @@ from .interchange import apply_interchange, interchange_legal
 from .layout import SiteLayout, resolve_layout
 from .names import SiteNames
 from .naming import NamePool
+from .options import AUTO  # noqa: F401  (re-exported; the historic home)
 from .tiling import Tiling, choose_tile_size
-
-#: Accepted ``tile_size`` sentinel asking for the built-in heuristic.
-AUTO = "auto"
 
 
 @dataclass
@@ -257,31 +263,14 @@ class Compuniformer:
         return report
 
     def _insert_prolog(self, unit: Unit, names: SiteNames) -> None:
-        """Declare generated variables and initialize ``me = mynode()``."""
-        unit.decls.extend(names.declarations())
-        unit.body.insert(
-            0, b.assign(b.var(names.me), b.call_expr("mynode"))
-        )
+        insert_prolog(unit, names)
 
     # ---------------------------------------------------------------- direct
 
     def _resolve_tile_size(
         self, trip: int, must_divide: int = 0
     ) -> int:
-        if self.tile_size == AUTO:
-            return choose_tile_size(trip, must_divide=must_divide)
-        k = int(self.tile_size)
-        if k > trip:
-            raise TransformError(
-                f"requested tile size {k} exceeds the {trip}-iteration trip "
-                f"count"
-            )
-        if must_divide and must_divide % k != 0:
-            raise TransformError(
-                f"requested tile size {k} does not divide the partition "
-                f"thickness {must_divide} (scheme B requirement)"
-            )
-        return k
+        return resolve_tile_size(self.tile_size, trip, must_divide)
 
     def _apply_direct(
         self, opp: Opportunity, layout: SiteLayout, names: SiteNames
@@ -305,46 +294,7 @@ class Compuniformer:
         k = self._resolve_tile_size(trip, must_divide)
         plan = analyze_direct(opp, layout, tile_size=k)
         tiling = Tiling(plan.tile_lo, plan.tile_hi, k)
-
-        tiled_loop = opp.nest.loops[0]
-        tv = plan.tile_var
-        ordinal = _ordinal_expr(tv, plan.tile_lo)  # 1-based iteration count
-        gen = gen_comm_block_a if plan.scheme == "A" else gen_comm_block_b
-
-        # §3.6 steps 1+2: guarded per-tile communication at the end of ℓ's
-        # tiled-loop body, preceded by the previous-tile wait
-        comm = gen(
-            plan,
-            layout,
-            names,
-            tile_end_expr=b.var(tv),
-            k=k,
-            tag_expr=b.div(_ordinal_expr(tv, plan.tile_lo), k),
-            wait_first=True,
-        )
-        guard = b.if_(b.eq(b.mod(ordinal, k), 0), comm)
-        tiled_loop.body.append(guard)
-
-        # §3.6 steps 3+4+5 at the site of C
-        post: List[Stmt] = []
-        if tiling.leftover:
-            lo, hi = tiling.leftover_range()
-            post.append(
-                b.comment(" exchange leftover elements (l mod K)")
-            )
-            post.extend(
-                gen(
-                    plan,
-                    layout,
-                    names,
-                    tile_end_expr=IntLit(value=hi),
-                    k=tiling.leftover,
-                    tag_expr=IntLit(value=tiling.ntiles + 1),
-                    wait_first=True,
-                )
-            )
-        post.extend(final_wait(names))
-        _replace_call(opp, post)
+        direct_rewrite(opp, layout, names, plan, k, tiling)
 
         return SiteReport(
             unit=opp.unit.name,
@@ -361,32 +311,7 @@ class Compuniformer:
         )
 
     def _try_interchange(self, opp: Opportunity, probe: DirectPlan) -> bool:
-        """§3.5: move the node loop inward when it is outermost and legal."""
-        nest = opp.nest
-        if nest.depth < 2:
-            return False
-        # find an inner loop driving a non-last dimension of the write
-        target = None
-        for d, acc in enumerate(probe.accesses[:-1]):
-            if acc.var is None:
-                continue
-            for qi, loop in enumerate(nest.loops):
-                if qi > 0 and loop.var == acc.var:
-                    target = qi
-                    break
-            if target is not None:
-                break
-        if target is None:
-            return False
-        legal, _reason = interchange_legal(nest, 0, target, opp.params)
-        if not legal:
-            return False
-        opp.nest = apply_interchange(nest, 0, target)
-        opp.notes.append(
-            f"interchanged loops 1 and {target + 1} to move the node loop "
-            f"inward (§3.5)"
-        )
-        return True
+        return try_interchange(opp, probe)
 
     # -------------------------------------------------------------- indirect
 
@@ -398,67 +323,7 @@ class Compuniformer:
         k = self._resolve_tile_size(probe.trip)
         plan = analyze_indirect(opp, layout, tile_size=k)
         names.need_indirect()
-        outer = opp.nest.root
-
-        # remove the copy loop ℓcp (§3.4: the aggregation is unnecessary)
-        cp_index = index_of(outer.body, opp.copy_loop)
-        if cp_index < 0:
-            raise TransformError("copy loop vanished before transformation")
-        del outer.body[cp_index]
-
-        # At gains a 2K-slot dimension (two banks, double buffering); the
-        # producer now fills slab `slot`
-        expand_temp_decl(opp.unit, opp.temp_array, 2 * k)
-        redirect_producer(opp, names)
-
-        # before the producer: the cyclic slot index
-        prod_index = index_of(outer.body, opp.producer_call)
-        if prod_index < 0:
-            raise TransformError("producer call vanished before transformation")
-        outer.body.insert(prod_index, gen_slot_assign(plan, names))
-
-        # end-of-tile guard: wait for the *previous* tile's sends (their
-        # bank is rewritten starting next iteration), then send this
-        # tile's K slabs from the current bank
-        ordinal = _ordinal_expr(plan.outer_var, plan.outer_lo)
-        first_global = b.sub(
-            _ordinal_expr(plan.outer_var, plan.outer_lo), k - 1
-        )
-        # bank offset of tile t = mod(t - 1, 2) * K, with t = ordinal / K
-        bank = b.mul(
-            b.mod(b.sub(b.div(_ordinal_expr(plan.outer_var, plan.outer_lo), k), 1), 2),
-            k,
-        )
-        comm = gen_send_wait(names) + gen_slab_comm(
-            plan,
-            layout,
-            names,
-            opp,
-            slots=k,
-            first_global_expr=first_global,
-            slot_base_expr=bank,
-        )
-        outer.body.append(b.if_(b.eq(b.mod(ordinal, k), 0), comm))
-
-        # leftover slabs + final wait at the site of C; C removed
-        post: List[Stmt] = []
-        if plan.leftover:
-            post.append(b.comment(" exchange leftover slabs"))
-            post.extend(
-                gen_slab_comm(
-                    plan,
-                    layout,
-                    names,
-                    opp,
-                    slots=plan.leftover,
-                    first_global_expr=IntLit(
-                        value=plan.trip - plan.leftover + 1
-                    ),
-                    slot_base_expr=IntLit(value=(plan.ntiles % 2) * k),
-                )
-            )
-        post.extend(final_wait(names))
-        _replace_call(opp, post)
+        indirect_rewrite(opp, layout, names, plan, k)
 
         return SiteReport(
             unit=opp.unit.name,
@@ -478,6 +343,195 @@ class Compuniformer:
                 else "copy loop removed"
             ],
         )
+
+
+# ---------------------------------------------------------------------------
+# shared site-level building blocks (used by this driver AND the pass
+# pipeline in repro.transform.pipeline — one copy of every code generator)
+# ---------------------------------------------------------------------------
+
+
+def resolve_tile_size(
+    tile_size: Union[int, str], trip: int, must_divide: int = 0
+) -> int:
+    """The requested K validated against one site's geometry (§3.6)."""
+    if tile_size == AUTO:
+        return choose_tile_size(trip, must_divide=must_divide)
+    k = int(tile_size)
+    if k > trip:
+        raise TransformError(
+            f"requested tile size {k} exceeds the {trip}-iteration trip "
+            f"count"
+        )
+    if must_divide and must_divide % k != 0:
+        raise TransformError(
+            f"requested tile size {k} does not divide the partition "
+            f"thickness {must_divide} (scheme B requirement)"
+        )
+    return k
+
+
+def try_interchange(opp: Opportunity, probe: DirectPlan) -> bool:
+    """§3.5: move the node loop inward when it is outermost and legal.
+
+    Mutates the nest headers in place on success (and refreshes
+    ``opp.nest``/``opp.notes``); returns whether the interchange
+    happened.
+    """
+    nest = opp.nest
+    if nest.depth < 2:
+        return False
+    # find an inner loop driving a non-last dimension of the write
+    target = None
+    for d, acc in enumerate(probe.accesses[:-1]):
+        if acc.var is None:
+            continue
+        for qi, loop in enumerate(nest.loops):
+            if qi > 0 and loop.var == acc.var:
+                target = qi
+                break
+        if target is not None:
+            break
+    if target is None:
+        return False
+    legal, _reason = interchange_legal(nest, 0, target, opp.params)
+    if not legal:
+        return False
+    opp.nest = apply_interchange(nest, 0, target)
+    opp.notes.append(
+        f"interchanged loops 1 and {target + 1} to move the node loop "
+        f"inward (§3.5)"
+    )
+    return True
+
+
+def direct_rewrite(
+    opp: Opportunity,
+    layout: SiteLayout,
+    names: SiteNames,
+    plan: DirectPlan,
+    k: int,
+    tiling: Tiling,
+) -> None:
+    """§3.6 steps 1–5 for one direct site (the AST mutation itself)."""
+    tiled_loop = opp.nest.loops[0]
+    tv = plan.tile_var
+    ordinal = _ordinal_expr(tv, plan.tile_lo)  # 1-based iteration count
+    gen = gen_comm_block_a if plan.scheme == "A" else gen_comm_block_b
+
+    # §3.6 steps 1+2: guarded per-tile communication at the end of ℓ's
+    # tiled-loop body, preceded by the previous-tile wait
+    comm = gen(
+        plan,
+        layout,
+        names,
+        tile_end_expr=b.var(tv),
+        k=k,
+        tag_expr=b.div(_ordinal_expr(tv, plan.tile_lo), k),
+        wait_first=True,
+    )
+    guard = b.if_(b.eq(b.mod(ordinal, k), 0), comm)
+    tiled_loop.body.append(guard)
+
+    # §3.6 steps 3+4+5 at the site of C
+    post: List[Stmt] = []
+    if tiling.leftover:
+        lo, hi = tiling.leftover_range()
+        post.append(
+            b.comment(" exchange leftover elements (l mod K)")
+        )
+        post.extend(
+            gen(
+                plan,
+                layout,
+                names,
+                tile_end_expr=IntLit(value=hi),
+                k=tiling.leftover,
+                tag_expr=IntLit(value=tiling.ntiles + 1),
+                wait_first=True,
+            )
+        )
+    post.extend(final_wait(names))
+    _replace_call(opp, post)
+
+
+def indirect_rewrite(
+    opp: Opportunity,
+    layout: SiteLayout,
+    names: SiteNames,
+    plan: IndirectPlan,
+    k: int,
+) -> None:
+    """§3.4 copy-loop elimination for one indirect site (the mutation)."""
+    outer = opp.nest.root
+
+    # remove the copy loop ℓcp (§3.4: the aggregation is unnecessary)
+    cp_index = index_of(outer.body, opp.copy_loop)
+    if cp_index < 0:
+        raise TransformError("copy loop vanished before transformation")
+    del outer.body[cp_index]
+
+    # At gains a 2K-slot dimension (two banks, double buffering); the
+    # producer now fills slab `slot`
+    expand_temp_decl(opp.unit, opp.temp_array, 2 * k)
+    redirect_producer(opp, names)
+
+    # before the producer: the cyclic slot index
+    prod_index = index_of(outer.body, opp.producer_call)
+    if prod_index < 0:
+        raise TransformError("producer call vanished before transformation")
+    outer.body.insert(prod_index, gen_slot_assign(plan, names))
+
+    # end-of-tile guard: wait for the *previous* tile's sends (their
+    # bank is rewritten starting next iteration), then send this
+    # tile's K slabs from the current bank
+    ordinal = _ordinal_expr(plan.outer_var, plan.outer_lo)
+    first_global = b.sub(
+        _ordinal_expr(plan.outer_var, plan.outer_lo), k - 1
+    )
+    # bank offset of tile t = mod(t - 1, 2) * K, with t = ordinal / K
+    bank = b.mul(
+        b.mod(b.sub(b.div(_ordinal_expr(plan.outer_var, plan.outer_lo), k), 1), 2),
+        k,
+    )
+    comm = gen_send_wait(names) + gen_slab_comm(
+        plan,
+        layout,
+        names,
+        opp,
+        slots=k,
+        first_global_expr=first_global,
+        slot_base_expr=bank,
+    )
+    outer.body.append(b.if_(b.eq(b.mod(ordinal, k), 0), comm))
+
+    # leftover slabs + final wait at the site of C; C removed
+    post: List[Stmt] = []
+    if plan.leftover:
+        post.append(b.comment(" exchange leftover slabs"))
+        post.extend(
+            gen_slab_comm(
+                plan,
+                layout,
+                names,
+                opp,
+                slots=plan.leftover,
+                first_global_expr=IntLit(
+                    value=plan.trip - plan.leftover + 1
+                ),
+                slot_base_expr=IntLit(value=(plan.ntiles % 2) * k),
+            )
+        )
+    post.extend(final_wait(names))
+    _replace_call(opp, post)
+
+
+def insert_prolog(unit: Unit, names: SiteNames) -> None:
+    """Declare generated variables and initialize ``me = mynode()``."""
+    unit.decls.extend(names.declarations())
+    unit.body.insert(
+        0, b.assign(b.var(names.me), b.call_expr("mynode"))
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -209,29 +209,44 @@ def verify_transform(
     nranks: int,
     *,
     tile_size: Union[int, str] = "auto",
+    interchange: str = "auto",
+    oracle=None,
+    variant=None,
+    options=None,
     network: NetworkModel = IDEAL,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     externals: Optional[ExternalRegistry] = None,
     check: bool = False,
     collective: CollectiveSpec = None,
-    **transform_kwargs,
 ) -> Tuple[EquivalenceReport, "TransformReport"]:
     """Transform ``original`` and verify the result in one call.
 
-    Returns ``(equivalence, transform_report)``.  Raises
-    :class:`~repro.errors.VerificationError` when the program contains no
-    transformable site (there would be nothing to verify).  This is the
+    The transformation runs through the variant registry
+    (:mod:`repro.transform.pipeline`): ``variant`` names a registered
+    pipeline (default ``"prepush"``) and ``options`` is a
+    :class:`~repro.transform.options.TransformOptions`; when ``options``
+    is omitted one is built from the legacy ``tile_size``/
+    ``interchange`` keywords.  Returns ``(equivalence,
+    transform_report)`` — the report is a
+    :class:`~repro.transform.pipeline.PipelineReport` carrying the
+    per-pass chain.  Raises
+    :class:`~repro.errors.VerificationError` when the variant left the
+    program unchanged (there would be nothing to verify).  This is the
     single copy of the transform-then-check workflow;
     :meth:`repro.api.Session.verify` delegates here.
     """
-    from .transform.prepush import Compuniformer, TransformReport
+    from .transform.options import fold_legacy_options
+    from .transform.pipeline import resolve_variant
 
-    report = Compuniformer(
-        tile_size=tile_size, **transform_kwargs
-    ).transform(original)
-    if not report.transformed:
+    options = fold_legacy_options(
+        options, tile_size, interchange, exc=VerificationError
+    )
+    pipeline = resolve_variant(variant if variant is not None else "prepush")
+    report = pipeline.run(original, options, oracle=oracle)
+    if not report.changed:
         raise VerificationError(
-            "no transformable communication site found:\n  "
+            f"no transformable communication site found (variant "
+            f"{pipeline.name or 'pipeline'!r}):\n  "
             + "\n  ".join(r.reason for r in report.rejections)
         )
     equivalence = verify_equivalence(

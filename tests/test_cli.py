@@ -228,3 +228,160 @@ class TestSweep:
         )
         assert rc == 1
         assert "--network not supported" in capsys.readouterr().err
+
+
+class TestVariants:
+    def test_list_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "original" in out and "(empty: program unchanged)" in out
+        assert "prepush" in out
+        assert "interchange -> tile -> commgen -> indirect-elim" in out
+        assert "tile-only" in out and "prepush-schemeB-off" in out
+
+    def test_run_with_variant_and_report(self, kernel_file, capsys):
+        rc = main(
+            [
+                "run",
+                str(kernel_file),
+                "-n",
+                "4",
+                "--variant",
+                "prepush",
+                "-K",
+                "4",
+                "--report",
+            ]
+        )
+        assert rc == 0
+        res = capsys.readouterr()
+        assert "variant:        prepush" in res.out
+        assert "makespan:" in res.out
+        # the per-pass chain lands on stderr
+        assert "pipeline prepush" in res.err
+        assert "pass commgen" in res.err
+
+    def test_run_report_requires_variant(self, kernel_file, capsys):
+        rc = main(["run", str(kernel_file), "-n", "4", "--report"])
+        assert rc == 1
+        assert "--variant" in capsys.readouterr().err
+
+    def test_run_variant_changes_traffic(self, kernel_file, capsys):
+        assert main(["run", str(kernel_file), "-n", "4"]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                ["run", str(kernel_file), "-n", "4", "--variant", "prepush"]
+            )
+            == 0
+        )
+        treated = capsys.readouterr().out
+
+        def messages(out):
+            return next(
+                line for line in out.splitlines() if "messages:" in line
+            )
+
+        assert messages(plain) != messages(treated)
+
+    def test_custom_sweep_with_variant_axis(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--app",
+                "fft",
+                "--n",
+                "8",
+                "--nranks",
+                "4",
+                "--variant",
+                "original",
+                "--variant",
+                "no-interchange",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no-interchange" in out
+
+    def test_figure_target_accepts_single_variant(self, capsys):
+        # nodeloop at tiny geometry: --variant selects the treatment arm
+        rc = main(
+            [
+                "sweep",
+                "nodeloop",
+                "--n",
+                "8",
+                "--nranks",
+                "4",
+                "--stages",
+                "1",
+                "--no-verify",
+                "--no-cache",
+                "--variant",
+                "tile-only",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tile-only+interchange" in out
+
+    def test_figure_target_rejects_repeated_variant(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "figure1",
+                "--variant",
+                "prepush",
+                "--variant",
+                "tile-only",
+                "--no-cache",
+            ]
+        )
+        assert rc == 1
+        assert "repeated --variant" in capsys.readouterr().err
+
+    def test_run_tile_size_requires_variant(self, kernel_file, capsys):
+        rc = main(["run", str(kernel_file), "-n", "4", "-K", "4"])
+        assert rc == 1
+        assert "--variant" in capsys.readouterr().err
+
+    def test_run_variant_untransformable_errors(self, tmp_path, capsys):
+        p = tmp_path / "plain.f90"
+        p.write_text("program p\n  integer :: x\n\n  x = 1\nend program p\n")
+        rc = main(["run", str(p), "-n", "2", "--variant", "prepush"])
+        assert rc == 1
+        assert "transformed nothing" in capsys.readouterr().err
+
+    def test_run_partial_variant_unchanged_notes(self, tmp_path, capsys):
+        from repro.apps import build_app
+
+        p = tmp_path / "ind.f90"
+        p.write_text(build_app("indirect", n=8, nranks=4, stages=1).source)
+        rc = main(["run", str(p), "-n", "4", "--variant", "tile-only"])
+        assert rc == 0
+        res = capsys.readouterr()
+        assert "left the program unchanged" in res.err
+        assert "makespan:" in res.out
+
+    def test_variants_target_accepts_repeated_variant(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "variants",
+                "--nranks",
+                "4",
+                "--variant",
+                "tile-only",
+                "--variant",
+                "no-interchange",
+                "--network",
+                "gmnet",
+                "--no-verify",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tile-only" in out and "no-interchange" in out

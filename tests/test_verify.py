@@ -90,3 +90,12 @@ def test_verify_transform_roundtrip():
     eq, report = verify_transform(GOOD, 4, tile_size=4)
     assert eq.equivalent
     assert report.sites[0].tile_size == 4
+
+
+def test_verify_transform_options_conflict_raises():
+    from repro.transform.options import TransformOptions
+
+    with pytest.raises(VerificationError, match="drop the legacy"):
+        verify_transform(
+            GOOD, 4, tile_size=4, options=TransformOptions(tile_size=2)
+        )
