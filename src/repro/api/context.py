@@ -92,6 +92,14 @@ class ExecutionContext:
     #: transform — a registered pipeline name or a Pipeline instance,
     #: resolved once at Session construction like ``network``
     variant: VariantLike = "prepush"
+    #: simulation engine selection (DESIGN.md §10): ``"auto"`` replays
+    #: one recorded trace for all ranks when the program is provably
+    #: rank-symmetric and silently falls back to full per-rank
+    #: interpretation otherwise; ``"replay"`` forces replay (raising
+    #: :class:`~repro.errors.EngineModeError` on asymmetric programs);
+    #: ``"full"`` always interprets every rank.  All three produce
+    #: bit-identical results and share cache entries.
+    engine_mode: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -121,6 +129,8 @@ class Job:
     label: str = ""
     variant: Optional[VariantLike] = None
     options: Optional[TransformOptions] = None
+    #: ``None`` inherits the context's ``engine_mode``
+    engine_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -76,6 +76,9 @@ from .context import (
 
 __all__ = ["Session", "VerifyResult", "default_session"]
 
+#: legal values of ``ExecutionContext.engine_mode`` / ``Job.engine_mode``
+ENGINE_MODES = ("auto", "replay", "full")
+
 
 @dataclasses.dataclass(frozen=True)
 class VerifyResult:
@@ -140,6 +143,7 @@ class Session:
             context.collective
         )
         self.variant_pipeline: Pipeline = resolve_variant(context.variant)
+        self.engine_mode: str = self._check_engine_mode(context.engine_mode)
         self.cost_model: CostModel = context.cost_model
         self.cache: Optional[SweepCache] = _as_cache(context.cache_dir)
         self.jobs: Optional[int] = context.jobs
@@ -224,6 +228,20 @@ class Session:
         )
 
     @staticmethod
+    def _check_engine_mode(value: str) -> str:
+        if value not in ENGINE_MODES:
+            raise ReproError(
+                f"unknown engine_mode {value!r} (expected one of "
+                f"{', '.join(repr(m) for m in ENGINE_MODES)})"
+            )
+        return value
+
+    def _resolve_engine_mode(self, value: Optional[str]) -> str:
+        return (
+            self.engine_mode if value is None else self._check_engine_mode(value)
+        )
+
+    @staticmethod
     def _resolve_options(request: Any) -> TransformOptions:
         """One :class:`TransformOptions` from a request's ``options``
         field or its legacy ``tile_size``/``interchange`` pair (the
@@ -292,6 +310,7 @@ class Session:
             label=job.label,
             collective=self._resolve_collective(job.collective),
             variant=identity,
+            engine_mode=self._resolve_engine_mode(job.engine_mode),
         )
 
     # ------------------------------------------------------- execution
@@ -413,7 +432,19 @@ class Session:
     ) -> SweepResult:
         """Run declarative sweep specs through this session's cache and
         pool (see :mod:`repro.harness.sweep`).  A warm cache performs
-        zero simulations; repeated calls reuse the same pool."""
+        zero simulations; repeated calls reuse the same pool.
+
+        Specs that leave ``engine_mode`` unset (``None``) inherit the
+        session's; a spec naming its own mode keeps it.  Either way the
+        cache keys are unaffected (all modes are bit-identical)."""
+        if isinstance(specs, SweepSpec):
+            specs = [specs]
+        specs = [
+            s
+            if s.engine_mode is not None
+            else dataclasses.replace(s, engine_mode=self.engine_mode)
+            for s in specs
+        ]
         executor = self.pool()
         return _execute_sweep(
             specs,
@@ -438,6 +469,7 @@ class Session:
             f"Session(network={self.network.name!r}, "
             f"collective={self.collective_suite!r}, "
             f"variant={variant_label(self.variant_pipeline)!r}, "
+            f"engine={self.engine_mode!r}, "
             f"cache={'on' if self.cache else 'off'}, "
             f"jobs={self.jobs}, pool={pool})"
         )

@@ -46,10 +46,20 @@ partial ablations like ``tile-only``/``no-interchange``/
 simulating (``--report`` prints the per-pass chain); ``bench
 variants`` sweeps the whole variant x network x workload axis.
 
+``--engine-mode`` (on ``run``/``bench``/``sweep``) selects the
+simulation engine (DESIGN.md §10): ``auto`` (default) replays one
+recorded trace for every rank when the program is provably
+rank-symmetric — the scaling path to 1024+ ranks — and falls back to
+full per-rank interpretation otherwise; ``replay`` forces replay and
+errors on asymmetric programs instead of silently falling back;
+``full`` always interprets every rank.  All three modes produce
+bit-identical results and share result-cache entries.
+
 Examples::
 
     compuniformer transform kernel.f90 -K 16 -o kernel_pp.f90
     compuniformer run kernel.f90 -n 8 --network gmnet
+    compuniformer run kernel.f90 -n 1024 --engine-mode replay
     compuniformer run kernel.f90 -n 8 --collective alltoall=bruck
     compuniformer run kernel.f90 -n 8 --variant prepush --report
     compuniformer verify kernel.f90 -n 8 --network rdma-100g
@@ -152,6 +162,19 @@ def _add_network_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_mode_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine-mode",
+        choices=["auto", "replay", "full"],
+        default="auto",
+        help="simulation engine: 'auto' replays one recorded trace for "
+        "all ranks when the program is provably rank-symmetric and "
+        "falls back to full per-rank interpretation otherwise; "
+        "'replay' forces replay (errors on asymmetric programs); "
+        "'full' always interprets every rank (default: auto)",
+    )
+
+
 def _add_collective_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--collective",
@@ -218,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-pass transformation report chain "
         "(requires --variant)",
     )
+    _add_engine_mode_arg(p)
 
     p = sub.add_parser(
         "verify", help="transform and check output equivalence (§4)"
@@ -276,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         "original vs one variant (where applicable)",
     )
     _add_collective_arg(p)
+    _add_engine_mode_arg(p)
 
     p = sub.add_parser(
         "sweep",
@@ -373,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the result cache entirely (always simulate)",
     )
+    _add_engine_mode_arg(p)
     p.add_argument(
         "-o",
         "--output",
@@ -420,7 +446,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "pipeline with --variant (see 'compuniformer variants')"
             )
         session = Session(
-            network=args.network, collective=args.collective
+            network=args.network,
+            collective=args.collective,
+            engine_mode=args.engine_mode,
         )
         program = _read_source(args.file)
         report = None
@@ -561,7 +589,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "bench":
         names = sorted(_BENCHES) if args.name == "all" else [args.name]
-        with Session(jobs=args.processes) as session:
+        with Session(
+            jobs=args.processes, engine_mode=args.engine_mode
+        ) as session:
             for name in names:
                 kwargs = {}
                 if args.network and name in _BENCHES_WITH_NETWORK:
@@ -792,6 +822,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
     with Session(
         cache_dir=None if args.no_cache else args.cache_dir,
         jobs=args.jobs,
+        engine_mode=args.engine_mode,
     ) as session:
         if args.spec or args.app:
             if args.spec and args.app:

@@ -69,5 +69,20 @@ class DeadlockError(SimulationError):
     """Raised when the simulator detects that no rank can make progress."""
 
 
+class SymmetryError(SimulationError):
+    """Raised when the rank-symmetry recorder cannot prove a program
+    rank-symmetric (DESIGN.md §10): a rank-dependent value reached a
+    place where ranks could diverge — control flow, message sizes,
+    point-to-point partners — so one recorded trace cannot stand in for
+    every rank."""
+
+
+class EngineModeError(SimulationError):
+    """Raised when ``engine_mode="replay"`` is forced on a program the
+    symmetry analysis rejects.  Carries the underlying
+    :class:`SymmetryError` explanation instead of silently falling back
+    to full interpretation."""
+
+
 class VerificationError(ReproError):
     """Raised when original and transformed programs disagree."""

@@ -136,8 +136,21 @@ class SweepSpec:
     base_cost_model: CostModel = DEFAULT_COST_MODEL
     verify: bool = True
     detect_races: bool = True
+    #: engine selection for every point (DESIGN.md §10): ``"auto"``
+    #: replays symmetric programs and falls back otherwise, ``"replay"``
+    #: forces replay, ``"full"`` forces per-rank interpretation;
+    #: ``None`` inherits the executing Session's default.  Not an
+    #: axis: all modes are bit-identical and share cache keys, so
+    #: sweeping it would only measure the same points twice.
+    engine_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.engine_mode not in (None, "auto", "replay", "full"):
+            raise ReproError(
+                f"sweep {self.name!r}: unknown engine_mode "
+                f"{self.engine_mode!r} (expected 'auto', 'replay', or "
+                f"'full')"
+            )
         unknown = sorted(
             v
             for v in self.variants
@@ -182,6 +195,7 @@ class SweepSpec:
             ],
             "cpu_scales": list(self.cpu_scales),
             "verify": self.verify,
+            "engine_mode": self.engine_mode,
         }
 
     @staticmethod
@@ -223,6 +237,7 @@ class SweepSpec:
             "collectives",
             "cpu_scales",
             "verify",
+            "engine_mode",
         }
         unknown = set(data) - known
         if unknown:
@@ -253,6 +268,7 @@ class SweepPoint:
     #: transformation provenance (pipeline identity + options) of
     #: transformed points; None for the untransformed baseline
     variant_id: Optional[Dict[str, Any]] = None
+    engine_mode: str = "auto"
 
     def job(self) -> ClusterJob:
         return ClusterJob(
@@ -265,6 +281,7 @@ class SweepPoint:
             label=self.label,
             collective=self.collective,
             variant=self.variant_id,
+            engine_mode=self.engine_mode,
         )
 
 
@@ -516,6 +533,8 @@ def expand_spec(
                                         externals=app.externals,
                                         transform=transform,
                                         variant_id=variant_id,
+                                        engine_mode=spec.engine_mode
+                                        or "auto",
                                     )
                                 )
     return points, verifications

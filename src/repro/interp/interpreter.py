@@ -828,6 +828,19 @@ class Interpreter:
         right = self._eval(e.right, frame)
         is_real = isinstance(left, float) or isinstance(right, float)
         self.charge(self.cost.real_op if is_real else self.cost.int_op)
+        return self._binop_value(op, left, right, is_real, e.line)
+
+    @staticmethod
+    def _binop_value(
+        op: str, left: Scalar, right: Scalar, is_real: bool, line: int
+    ) -> Scalar:
+        """Arithmetic/comparison semantics on already-evaluated operands.
+
+        Split out from :meth:`_eval_binop` so the symmetry recorder
+        (:mod:`repro.interp.symmetry`) can apply the exact same value
+        semantics — including the Fortran truncating integer division —
+        without duplicating them.
+        """
         if op == "+":
             return left + right
         if op == "-":
@@ -838,7 +851,7 @@ class Interpreter:
             if is_real:
                 return left / right
             if right == 0:
-                raise InterpError("integer division by zero", e.line)
+                raise InterpError("integer division by zero", line)
             q = abs(left) // abs(right)
             return q if (left >= 0) == (right >= 0) else -q
         if op == "**":
@@ -855,7 +868,7 @@ class Interpreter:
             return left > right
         if op == ">=":
             return left >= right
-        raise InterpError(f"unknown operator {op!r}", e.line)
+        raise InterpError(f"unknown operator {op!r}", line)
 
     def _eval_intrinsic(self, e: FuncCall, frame: Frame) -> Scalar:
         name = e.name
@@ -865,11 +878,20 @@ class Interpreter:
             return self.size
         args = [self._eval(a, frame) for a in e.args]
         self.charge(self.cost.intrinsic)
+        return self._intrinsic_value(name, args, e.line)
+
+    def _intrinsic_value(self, name: str, args: List[Scalar], line: int) -> Scalar:
+        """Intrinsic semantics on already-evaluated arguments.
+
+        Split out from :meth:`_eval_intrinsic` (after the charge) so the
+        symmetry recorder can apply the exact same scalar semantics
+        element-wise to rank-indexed vectors.
+        """
         if name == "mod":
             a, b = args
             if isinstance(a, int) and isinstance(b, int):
                 if b == 0:
-                    raise InterpError("mod with zero divisor", e.line)
+                    raise InterpError("mod with zero divisor", line)
                 return int(math.fmod(a, b))
             return math.fmod(a, b)
         if name == "min":
@@ -904,8 +926,8 @@ class Interpreter:
         if name == "merge":
             return args[0] if self._truthy(args[2]) else args[1]
         if name == "size":
-            raise InterpError("size() on expressions is not supported", e.line)
-        raise InterpError(f"unknown intrinsic {name!r}", e.line)
+            raise InterpError("size() on expressions is not supported", line)
+        raise InterpError(f"unknown intrinsic {name!r}", line)
 
     def _array(self, name: str, frame: Frame, line: int) -> FArray:
         arr = frame.arrays.get(name)

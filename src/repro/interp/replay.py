@@ -1,0 +1,198 @@
+"""Replay engine: run one recorded trace on every rank of the cluster.
+
+The second half of the rank-symmetry engine (DESIGN.md §10; the first
+half is :mod:`repro.interp.symmetry`).  :func:`replay_cluster` records
+the program once with :class:`~repro.interp.symmetry.SymmetryRecorder`,
+then drives the real :class:`~repro.runtime.simulator.Engine` with one
+lightweight generator per rank that replays the recorded schedule:
+``Compute`` events verbatim, collectives re-issued through a real
+per-rank :class:`~repro.runtime.mpi.SimComm` so the registered
+algorithms emit exactly the isend/irecv/wait streams full
+interpretation would.  Timing is therefore *identical*, not
+approximated: the engine sees the same ops with the same byte counts in
+the same order, and its scheduling is deterministic.
+
+Replay ranks share scratch buffers per trace event *and* one
+collective-staging pool (collective algorithms' control flow depends
+only on rank, size, and partition size, never payload values — see
+:meth:`~repro.runtime.mpi.SimComm.staging_buffer`), run with
+``detect_races=False`` (recorded
+programs are collective-only, hence race-free — full interpretation
+reports no warnings for them either) and ``snapshot_payloads=False``
+(payload contents are already accounted for by the recorder's shadow
+algebra, so copy-on-write snapshots would be pure overhead).
+
+The recorded data is reassembled into the same
+:class:`~repro.interp.runner.ClusterRun` shape full interpretation
+produces: per-rank print records expanded from rank vectors, per-rank
+final arrays from shadows (rank-uniform arrays share one ndarray across
+ranks — treat them read-only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError, SymmetryError
+from ..lang import SourceFile, parse
+from ..runtime.collectives import CollectiveSpec
+from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..runtime.events import Compute, SimOp
+from ..runtime.mpi import SimComm
+from ..runtime.network import IDEAL, NetworkModel, resolve_model
+from ..runtime.simulator import Engine
+from .runner import ClusterRun
+from .symmetry import RankVec, SymmetryRecorder, TraceEvent
+
+
+def record_trace(
+    program: Union[str, SourceFile],
+    nranks: int,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> SymmetryRecorder:
+    """Interpret ``program`` once for all ranks; raises
+    :class:`~repro.errors.SymmetryError` when symmetry cannot be proven."""
+    source = program if isinstance(program, SourceFile) else parse(program)
+    recorder = SymmetryRecorder(source, nranks, cost_model=cost_model)
+    for op in recorder.run_collecting():
+        if type(op) is not Compute:
+            raise SymmetryError(
+                f"recorder produced a non-compute op {op!r}"
+            )  # pragma: no cover - recorder never emits these
+        recorder.trace.append(("compute", op.seconds))
+    return recorder
+
+
+def _scratch_for(events: Sequence[TraceEvent]) -> List[Tuple[np.ndarray, ...]]:
+    """One shared buffer set per trace event (int64: 8 bytes/element,
+    the same wire size as every mini-Fortran dtype)."""
+    scratch: List[Tuple[np.ndarray, ...]] = []
+    for ev in events:
+        kind = ev[0]
+        if kind in ("alltoall", "allgather"):
+            scratch.append(
+                (np.zeros(ev[1], np.int64), np.zeros(ev[2], np.int64))
+            )
+        elif kind == "allreduce":
+            scratch.append(
+                (np.zeros(ev[1], np.int64), np.zeros(ev[1], np.int64))
+            )
+        elif kind == "bcast":
+            scratch.append((np.zeros(ev[1], np.int64),))
+        else:
+            scratch.append(())
+    return scratch
+
+
+def _replay_rank(
+    rank: int,
+    nranks: int,
+    events: Sequence[TraceEvent],
+    scratch: Sequence[Tuple[np.ndarray, ...]],
+    collective: CollectiveSpec,
+    staging: Dict[Any, np.ndarray],
+) -> Generator[SimOp, Any, Any]:
+    comm = SimComm(rank, nranks, collectives=collective, staging=staging)
+    for ev, bufs in zip(events, scratch):
+        kind = ev[0]
+        if kind == "compute":
+            yield Compute(seconds=ev[1])
+        elif kind == "alltoall":
+            yield from comm.alltoall(bufs[0], bufs[1])
+        elif kind == "allreduce":
+            yield from comm.allreduce(bufs[0], bufs[1], op=ev[2])
+        elif kind == "allgather":
+            yield from comm.allgather(bufs[0], bufs[1])
+        elif kind == "bcast":
+            yield from comm.bcast(bufs[0], root=ev[2])
+        elif kind == "barrier":
+            yield from comm.barrier()
+        else:  # pragma: no cover - trace entries are produced above
+            raise SimulationError(f"unknown trace event {kind!r}")
+
+
+def replay_cluster(
+    program: Union[str, SourceFile],
+    nranks: int,
+    network: Union[str, NetworkModel] = IDEAL,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    collective: CollectiveSpec = None,
+) -> ClusterRun:
+    """Record once, replay on ``nranks`` ranks; bit-identical to
+    :func:`~repro.interp.runner._simulate` whenever recording succeeds.
+
+    Raises :class:`~repro.errors.SymmetryError` when the program is not
+    provably rank-symmetric (the caller decides whether to fall back).
+    """
+    recorder = record_trace(program, nranks, cost_model=cost_model)
+    events = recorder.trace
+    scratch = _scratch_for(events)
+    # one collective-staging pool for the whole cluster (see
+    # SimComm.staging_buffer): replayed payloads are never read back,
+    # so ranks may share — and at 1024 ranks, per-rank staging would
+    # multiply the footprint by three orders of magnitude
+    staging: Dict[Any, np.ndarray] = {}
+    engine = Engine(
+        [
+            _replay_rank(rank, nranks, events, scratch, collective, staging)
+            for rank in range(nranks)
+        ],
+        resolve_model(network),
+        detect_races=False,
+        snapshot_payloads=False,
+    )
+    result = engine.run()
+    return ClusterRun(
+        result=result,
+        outputs=_expand_outputs(recorder, nranks),
+        arrays=_expand_arrays(recorder, nranks),
+        data_approximate=recorder.data_approximate,
+    )
+
+
+def _expand_outputs(
+    recorder: SymmetryRecorder, nranks: int
+) -> List[List[Tuple[Any, ...]]]:
+    template = recorder.output
+    has_vecs = any(
+        isinstance(v, RankVec) for entry in template for v in entry
+    )
+    if not has_vecs:
+        return [list(template) for _ in range(nranks)]
+    return [
+        [
+            tuple(
+                v.values[rank].item() if isinstance(v, RankVec) else v
+                for v in entry
+            )
+            for entry in template
+        ]
+        for rank in range(nranks)
+    ]
+
+
+def _expand_arrays(
+    recorder: SymmetryRecorder, nranks: int
+) -> List[Dict[str, np.ndarray]]:
+    # rank-uniform (and approximate-representative) arrays are shared
+    # across ranks as one ndarray; shadowed arrays get per-rank copies
+    frame = recorder.main_frame
+    shared = {
+        name: arr.data.copy(order="F")
+        for name, arr in frame.arrays.items()
+        if name not in recorder.shadows
+    }
+    arrays: List[Dict[str, np.ndarray]] = []
+    for rank in range(nranks):
+        d = dict(shared)
+        for name, shadow in recorder.shadows.items():
+            shape = frame.arrays[name].shape
+            d[name] = np.asfortranarray(
+                shadow[rank].reshape(shape, order="F")
+            )
+        arrays.append(d)
+    return arrays

@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import EngineModeError, SimulationError, SymmetryError
 from ..lang import SourceFile, parse, unparse
 from ..runtime.collectives import CollectiveSpec, canonical_suite
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -42,6 +42,7 @@ from ..runtime.events import SimResult
 from ..runtime.mpi import SimComm
 from ..runtime.network import IDEAL, NetworkModel, resolve_model
 from ..runtime.simulator import ENGINE_VERSION, Engine
+from . import symmetry
 from .interpreter import Interpreter
 from .procedures import ExternalRegistry
 from .values import FArray
@@ -49,11 +50,19 @@ from .values import FArray
 
 @dataclass
 class ClusterRun:
-    """Result of simulating one program on the cluster."""
+    """Result of simulating one program on the cluster.
+
+    ``data_approximate`` is set only by the replay engine when the
+    symmetry recorder's shadow budget forced it to drop some arrays'
+    per-rank contents (DESIGN.md §10): timing, stats, and outputs are
+    still exact, but the flagged run's ``arrays`` hold deterministic
+    representatives, so correctness checkers must not compare them.
+    """
 
     result: SimResult
     outputs: List[List[Tuple[Any, ...]]]  # per-rank print records
     arrays: List[Dict[str, np.ndarray]]  # per-rank final array contents
+    data_approximate: bool = False
 
     @property
     def time(self) -> float:
@@ -181,6 +190,15 @@ class ClusterJob:
     :func:`repro.transform.pipeline.variant_identity`) so the sweep
     cache can distinguish results by how the program was derived, not
     only by its final text.  It does not affect the simulation itself.
+
+    ``engine_mode`` selects the execution engine (DESIGN.md §10):
+    ``"auto"`` (default) tries the rank-symmetry replay engine and
+    silently falls back to full per-rank interpretation when symmetry
+    cannot be proven; ``"replay"`` forces replay and raises
+    :class:`~repro.errors.EngineModeError` instead of falling back;
+    ``"full"`` always interprets every rank.  Because replay is proven
+    bit-identical wherever it applies, the mode is *not* part of the
+    job's fingerprint — all three modes share cache entries.
     """
 
     program: Union[str, SourceFile]
@@ -192,6 +210,7 @@ class ClusterJob:
     label: str = ""
     collective: CollectiveSpec = None
     variant: Optional[Dict[str, Any]] = None
+    engine_mode: str = "auto"
 
     def program_text(self) -> str:
         """The job's program as source text (unparsing an AST input)."""
@@ -227,6 +246,13 @@ def job_fingerprint(job: ClusterJob) -> str:
         )
     payload = {
         "engine": ENGINE_VERSION,
+        # the symmetry-recorder version is folded in unconditionally:
+        # engine_mode="auto" may execute any fingerprinted job under the
+        # replay engine, so a recorder semantics change must invalidate
+        # every entry.  engine_mode itself is deliberately NOT keyed —
+        # replay is bit-identical wherever it runs, so all modes share
+        # one cache entry per job.
+        "symmetry": symmetry.SYMMETRY_VERSION,
         "program": job.program_text(),
         "nranks": job.nranks,
         "network": resolve_model(job.network).canonical_params(),
@@ -248,7 +274,44 @@ def job_fingerprint(job: ClusterJob) -> str:
 
 def execute_job(job: ClusterJob) -> ClusterRun:
     """Simulate one :class:`ClusterJob` — the non-deprecated core every
-    façade path (and the process pool) executes."""
+    façade path (and the process pool) executes.
+
+    Engine dispatch (DESIGN.md §10): ``engine_mode="auto"`` attempts the
+    rank-symmetry replay engine and falls back to full per-rank
+    interpretation on :class:`~repro.errors.SymmetryError`; ``"replay"``
+    converts that fallback into an :class:`~repro.errors.EngineModeError`
+    so an unexpectedly asymmetric program fails loudly; ``"full"``
+    skips the symmetry analysis entirely.
+    """
+    mode = job.engine_mode
+    if mode not in ("auto", "replay", "full"):
+        raise SimulationError(
+            f"unknown engine_mode {mode!r} (expected 'auto', 'replay', "
+            f"or 'full')"
+        )
+    if mode != "full":
+        try:
+            if job.externals is not None:
+                raise SymmetryError(
+                    "the job carries external procedures, which are "
+                    "opaque per-rank Python callables outside the "
+                    "symmetry proof"
+                )
+            from .replay import replay_cluster
+
+            return replay_cluster(
+                job.program,
+                job.nranks,
+                job.network,
+                cost_model=job.cost_model,
+                collective=job.collective,
+            )
+        except SymmetryError as exc:
+            if mode == "replay":
+                raise EngineModeError(
+                    "engine_mode='replay' was forced but the program is "
+                    f"not provably rank-symmetric: {exc}"
+                ) from exc
     return _simulate(
         job.program,
         job.nranks,

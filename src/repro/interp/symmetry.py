@@ -1,0 +1,824 @@
+"""Rank-symmetry recorder: interpret one representative, prove the rest.
+
+SPMD programs in the mini-Fortran subset are usually *rank-symmetric*:
+every rank executes the same statements in the same order, and the rank
+id (``mynode()``) only flows into stored data and collective payloads,
+never into control flow, message sizes, or communication partners.  For
+such programs one interpretation can stand in for all ``P`` ranks — the
+basis of the replay engine (DESIGN.md §10) that scales simulations to
+1024+ ranks.
+
+:class:`SymmetryRecorder` is an :class:`~repro.interp.interpreter.Interpreter`
+that executes the program *once*, carrying rank-dependent values as
+:class:`RankVec` vectors with one slot per rank (numpy-backed, so the
+vector width is almost free).  The proof obligation is enforced
+dynamically as a taint discipline: any attempt to convert a
+:class:`RankVec` to a single scalar — a loop bound, an IF condition, an
+MPI count or root, a subscript of a store, a point-to-point partner —
+raises :class:`~repro.errors.SymmetryError`, and the caller falls back
+to full per-rank interpretation.  There are no false positives: if
+recording succeeds, replaying the recorded trace is bit-identical to
+interpreting every rank (the parity suite in
+``tests/integration/test_replay_parity.py`` checks exactly this claim).
+
+What must match full interpretation, and how it is kept exact:
+
+* **Virtual time.**  Cost charges never depend on *values*, only on the
+  statements executed, so the single recorded charge stream is every
+  rank's charge stream.  Flush boundaries are reproduced exactly by
+  walking the same compiled/pure body partition as the fast path
+  (``_exec_body`` + ``_maybe_flush`` overrides) — pure regions
+  accumulate without flushing, exactly like the compiled closures.
+* **Data.**  Arrays that ever receive a rank-dependent store are
+  *shadowed*: a ``(P, size)`` matrix holding every rank's copy in flat
+  Fortran order.  Collectives are applied to shadows algebraically
+  (an alltoall is a blocked transpose, an allgather a concatenation),
+  which is exact because the registered algorithms move bytes without
+  transforming them; integer allreduce is exact under any combination
+  order, while *real* allreduce raises :class:`SymmetryError` because
+  its result depends on the algorithm's combination order.
+* **Scalars.**  Rank-uniform scalars stay Python ints (arbitrary
+  precision, like the full path).  Rank-dependent values live in int64/
+  float64 numpy vectors; intermediates that overflow int64 are the one
+  documented divergence (no roster app does this — see DESIGN.md §10).
+  Transcendental intrinsics on vectors go through :mod:`math`
+  element-wise so libm results match the scalar path bit-for-bit.
+
+Shadow memory is bounded by ``max_shadow_bytes`` (default 256 MiB of
+worst-case ``P × array`` footprint).  An array whose shadow would blow
+the budget degrades to an *approximate* representative copy: timing
+stays exact (charges are value-independent), but its per-rank contents
+are dropped and any value read back out of it becomes an
+:class:`ApproxVec`, which may flow into further stores but never into
+control flow, printed output, or anything else observable — those raise
+:class:`SymmetryError`.  The owning :class:`~repro.interp.runner.ClusterRun`
+is flagged ``data_approximate`` so correctness checkers refuse to
+compare such arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import InterpError, SimulationError, SymmetryError
+from ..lang.ast_nodes import (
+    ArrayRef,
+    Expr,
+    FuncCall,
+    Print,
+    SourceFile,
+    Stmt,
+    UnaryOp,
+    VarRef,
+)
+from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from .interpreter import _MPI_CALLS, Frame, Gen, Interpreter
+from .values import FArray, Scalar
+
+# Bump when the recorder's semantics change in any way that could alter
+# a replayed result: job fingerprints fold this in (runner.job_fingerprint),
+# so cached measurements produced under older recorder semantics are
+# invalidated rather than served stale.
+SYMMETRY_VERSION = "1.0"
+
+# Worst-case bytes of per-rank shadow storage (P × flat array) the
+# recorder will allocate before degrading an array to an approximate
+# representative.  256 MiB keeps parity-scale runs (P <= 64) fully
+# exact while letting a 1024-rank nodeloop (16 GiB of would-be shadows)
+# complete with exact timing.
+MAX_SHADOW_BYTES = 256 * 1024 * 1024
+
+
+class RankVec:
+    """A rank-indexed value: slot ``r`` is the value rank ``r`` computes.
+
+    Backed by a numpy vector (int64 / float64 / bool) so element-wise
+    arithmetic over all ranks costs one vector op.  Converting one to a
+    plain scalar is exactly the taint sink the symmetry proof forbids,
+    so every conversion protocol raises :class:`SymmetryError`.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.asarray(values)
+
+    @property
+    def is_real(self) -> bool:
+        return self.values.dtype.kind == "f"
+
+    def _diverges(self, what: str) -> SymmetryError:
+        return SymmetryError(
+            f"rank-dependent value used {what}: ranks would diverge, so "
+            f"one recorded trace cannot stand in for all of them"
+        )
+
+    def __bool__(self) -> bool:
+        raise self._diverges("in control flow or a logical context")
+
+    def __int__(self) -> int:
+        raise self._diverges(
+            "where a rank-uniform integer is required (loop bound, MPI "
+            "count/root/partner, store subscript, array bound)"
+        )
+
+    def __index__(self) -> int:
+        raise self._diverges("as an index")
+
+    def __float__(self) -> float:
+        raise self._diverges("where a rank-uniform real is required")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RankVec({self.values!r})"
+
+
+class ApproxVec:
+    """A rank-varying value whose per-rank contents were dropped.
+
+    Produced only by reads from budget-degraded (approximate) arrays.
+    Carries one deterministic representative so arithmetic and stores
+    keep working — timing charges are value-independent — but it is
+    *not* any real rank's value, so everything observable (control
+    flow, subscripts, MPI arguments, printed output) raises
+    :class:`SymmetryError`.
+    """
+
+    __slots__ = ("rep",)
+
+    def __init__(self, rep: Scalar) -> None:
+        self.rep = rep
+
+    @property
+    def is_real(self) -> bool:
+        return isinstance(self.rep, float)
+
+    def _dropped(self, what: str) -> SymmetryError:
+        return SymmetryError(
+            f"approximate per-rank data (shadow budget exceeded) used "
+            f"{what}; rerun with engine_mode='full' if its exact contents "
+            f"matter"
+        )
+
+    def __bool__(self) -> bool:
+        raise self._dropped("in control flow")
+
+    def __int__(self) -> int:
+        raise self._dropped("where a rank-uniform integer is required")
+
+    def __index__(self) -> int:
+        raise self._dropped("as an index")
+
+    def __float__(self) -> float:
+        raise self._dropped("where a rank-uniform real is required")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ApproxVec({self.rep!r})"
+
+
+_VECS = (RankVec, ApproxVec)
+
+# trace event tuples produced by the recorder (sizes are element counts):
+#   ("compute", seconds)
+#   ("alltoall", send_elems, recv_elems)
+#   ("allreduce", count, op)
+#   ("allgather", send_elems, recv_elems)
+#   ("bcast", count, root)
+#   ("barrier",)
+TraceEvent = Tuple[Any, ...]
+
+
+def _rep_of(x: Any) -> Scalar:
+    if isinstance(x, ApproxVec):
+        return x.rep
+    if isinstance(x, RankVec):
+        return x.values[0].item()
+    return x
+
+
+def _int_like(x: Any) -> bool:
+    """Mirror of ``isinstance(v, int)`` on the scalar path (bool is int)."""
+    if isinstance(x, RankVec):
+        return x.values.dtype.kind in "bi"
+    return isinstance(x, int) and not isinstance(x, float)
+
+
+class SymmetryRecorder(Interpreter):
+    """One vectorized interpretation standing in for all ``nranks`` ranks.
+
+    Drive it like an interpreter (``run_collecting()``); it yields only
+    ``Compute`` ops (communication is recorded, not performed).  After a
+    successful run, :attr:`trace` holds the collective/compute schedule
+    every rank follows, :attr:`main_frame` the rank-uniform final state,
+    and :attr:`shadows` each rank-varying array's per-rank contents.
+    """
+
+    def __init__(
+        self,
+        source: SourceFile,
+        nranks: int,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        max_shadow_bytes: int = MAX_SHADOW_BYTES,
+    ) -> None:
+        if nranks < 1:
+            raise SimulationError(f"cannot record a trace for {nranks} ranks")
+        super().__init__(source, comm=None, cost_model=cost_model)
+        self.nranks = nranks
+        self.max_shadow_bytes = max_shadow_bytes
+        self.trace: List[TraceEvent] = []
+        # per-array (P, size) matrices of flat Fortran-order contents;
+        # while an entry exists the FArray's own storage is stale
+        self.shadows: Dict[str, np.ndarray] = {}
+        self._shadow_bytes = 0
+        # arrays degraded to an approximate representative copy
+        self._approx: Set[str] = set()
+        self._pure_depth = 0
+        self._mynode = RankVec(np.arange(nranks, dtype=np.int64))
+
+    @property
+    def data_approximate(self) -> bool:
+        return bool(self._approx)
+
+    # -------------------------------------------------- flush-exact bodies
+
+    def _exec_body(self, body: Sequence[Stmt], frame: Frame) -> Gen:
+        # The fast path runs pure statements as compiled closures that
+        # never flush mid-region.  Closures cannot carry RankVecs, so we
+        # execute everything through the slow path — but suppress flushes
+        # inside pure regions to reproduce the fast path's exact Compute
+        # partition (charge totals are identical either way).
+        for fn, stmt in self._compiler.body_entries(body):
+            if fn is not None:
+                self._pure_depth += 1
+                try:
+                    yield from self._exec_stmt(stmt, frame)
+                finally:
+                    self._pure_depth -= 1
+            else:
+                yield from self._exec_stmt(stmt, frame)
+
+    def _maybe_flush(self) -> Gen:
+        if not self._pure_depth:
+            yield from super()._maybe_flush()
+
+    # --------------------------------------------------------- statements
+
+    def _exec_stmt(self, stmt: Stmt, frame: Frame) -> Gen:
+        if isinstance(stmt, Print):
+            self.charge(self.cost.stmt_overhead)
+            yield from self._maybe_flush()
+            values = tuple(self._eval(e, frame) for e in stmt.items)
+            for v in values:
+                if isinstance(v, ApproxVec):
+                    raise v._dropped("in printed output")
+            self.output.append(values)
+            return
+        yield from super()._exec_stmt(stmt, frame)
+
+    def _exec_assign(self, stmt, frame: Frame) -> None:
+        value = self._eval(stmt.rhs, frame)
+        lhs = stmt.lhs
+        if isinstance(lhs, VarRef):
+            if lhs.name not in frame.scalars:
+                raise InterpError(f"undeclared scalar {lhs.name!r}", stmt.line)
+            frame.scalars[lhs.name] = self._coerce(
+                value, frame.types.get(lhs.name, "integer")
+            )
+            return
+        if not isinstance(lhs, ArrayRef):
+            raise InterpError("invalid assignment target", stmt.line)
+        arr = self._array(lhs.name, frame, stmt.line)
+        subs = [self._eval(s, frame) for s in lhs.subs]
+        self.charge(self.cost.mem_access)
+        self._store_element(lhs.name, arr, subs, value, stmt.line)
+
+    def _exec_call(self, stmt, frame: Frame) -> Gen:
+        if stmt.name in _MPI_CALLS:
+            yield from self._exec_mpi(stmt, frame)
+            return
+        # Subroutines and externals execute per rank with the rank id in
+        # scope; one vectorized activation cannot prove them symmetric.
+        # (An *unknown* procedure also lands here: the full-interpretation
+        # fallback then reports the proper undefined-procedure error.)
+        raise SymmetryError(
+            f"call to procedure {stmt.name!r}: subroutine/external bodies "
+            f"are interpreted per rank and are outside the symmetry proof"
+        )
+
+    # ---------------------------------------------------------- expressions
+
+    def _coerce(self, value: Any, base_type: str) -> Any:  # type: ignore[override]
+        if isinstance(value, RankVec):
+            v = value.values
+            if base_type == "integer":
+                return RankVec(v.astype(np.int64))
+            if base_type == "real":
+                return RankVec(v.astype(np.float64))
+            return RankVec(v != 0)
+        if isinstance(value, ApproxVec):
+            return ApproxVec(Interpreter._coerce(value.rep, base_type))
+        return Interpreter._coerce(value, base_type)
+
+    def _eval(self, e: Expr, frame: Frame) -> Any:
+        if isinstance(e, ArrayRef):
+            arr = self._array(e.name, frame, e.line)
+            subs = [self._eval(s, frame) for s in e.subs]
+            self.charge(self.cost.mem_access)
+            return self._read_element(e.name, arr, subs, e.line)
+        if isinstance(e, UnaryOp) and e.op == "-":
+            v = self._eval(e.operand, frame)
+            if isinstance(v, RankVec):
+                self.charge(
+                    self.cost.real_op if v.is_real else self.cost.int_op
+                )
+                return RankVec(-v.values)
+            if isinstance(v, ApproxVec):
+                self.charge(
+                    self.cost.real_op if v.is_real else self.cost.int_op
+                )
+                return ApproxVec(-v.rep)
+            self.charge(
+                self.cost.real_op if isinstance(v, float) else self.cost.int_op
+            )
+            return -v
+        return super()._eval(e, frame)
+
+    def _eval_binop(self, e, frame: Frame) -> Any:
+        op = e.op
+        if op in (".and.", ".or."):
+            # short-circuit via _truthy; a vec operand raises SymmetryError
+            return super()._eval_binop(e, frame)
+        left = self._eval(e.left, frame)
+        right = self._eval(e.right, frame)
+        if isinstance(left, _VECS) or isinstance(right, _VECS):
+            return self._vec_binop(op, left, right, e.line)
+        is_real = isinstance(left, float) or isinstance(right, float)
+        self.charge(self.cost.real_op if is_real else self.cost.int_op)
+        return self._binop_value(op, left, right, is_real, e.line)
+
+    def _vec_binop(self, op: str, left: Any, right: Any, line: int) -> Any:
+        if isinstance(left, ApproxVec) or isinstance(right, ApproxVec):
+            l, r = _rep_of(left), _rep_of(right)
+            is_real = isinstance(l, float) or isinstance(r, float)
+            self.charge(self.cost.real_op if is_real else self.cost.int_op)
+            return ApproxVec(self._binop_value(op, l, r, is_real, line))
+        is_real = (
+            (left.is_real if isinstance(left, RankVec) else isinstance(left, float))
+            or (right.is_real if isinstance(right, RankVec) else isinstance(right, float))
+        )
+        self.charge(self.cost.real_op if is_real else self.cost.int_op)
+        l = left.values if isinstance(left, RankVec) else left
+        r = right.values if isinstance(right, RankVec) else right
+        if op == "+":
+            out = l + r
+        elif op == "-":
+            out = l - r
+        elif op == "*":
+            out = l * r
+        elif op == "/":
+            if is_real:
+                out = l / r
+            else:
+                # at least one operand is an ndarray here; test the
+                # divisor without np.any's dispatch overhead
+                zero = (r == 0).any() if isinstance(r, np.ndarray) else r == 0
+                if zero:
+                    raise InterpError("integer division by zero", line)
+                q = abs(l) // abs(r)
+                out = np.where((l >= 0) == (r >= 0), q, -q)
+        elif op == "**":
+            out = np.power(l, r)
+        elif op == "==":
+            out = l == r
+        elif op == "/=":
+            out = l != r
+        elif op == "<":
+            out = l < r
+        elif op == "<=":
+            out = l <= r
+        elif op == ">":
+            out = l > r
+        elif op == ">=":
+            out = l >= r
+        else:
+            raise InterpError(f"unknown operator {op!r}", line)
+        return RankVec(np.asarray(out))
+
+    def _eval_intrinsic(self, e: FuncCall, frame: Frame) -> Any:
+        name = e.name
+        if name == "mynode":
+            return self._mynode
+        if name == "numnodes":
+            return self.nranks
+        args = [self._eval(a, frame) for a in e.args]
+        self.charge(self.cost.intrinsic)
+        if not any(isinstance(a, _VECS) for a in args):
+            return self._intrinsic_value(name, args, e.line)
+        return self._vec_intrinsic(name, args, e.line)
+
+    def _vec_intrinsic(self, name: str, args: List[Any], line: int) -> Any:
+        if any(isinstance(a, ApproxVec) for a in args):
+            reps = [_rep_of(a) for a in args]
+            return ApproxVec(self._intrinsic_value(name, reps, line))
+        vals = [a.values if isinstance(a, RankVec) else a for a in args]
+        if name == "mod":
+            a, b = vals
+            int_mod = _int_like(args[0]) and _int_like(args[1])
+            if int_mod:
+                zero = (b == 0).any() if isinstance(b, np.ndarray) else b == 0
+                if zero:
+                    raise InterpError("mod with zero divisor", line)
+            out = np.fmod(a, b)
+            if int_mod:
+                out = out.astype(np.int64)
+            return RankVec(out)
+        if name == "min":
+            out = vals[0]
+            for v in vals[1:]:
+                out = np.minimum(out, v)
+            return RankVec(np.asarray(out))
+        if name == "max":
+            out = vals[0]
+            for v in vals[1:]:
+                out = np.maximum(out, v)
+            return RankVec(np.asarray(out))
+        if name == "abs":
+            return RankVec(np.abs(vals[0]))
+        if name == "int":
+            return RankVec(np.trunc(vals[0]).astype(np.int64))
+        if name == "real":
+            return RankVec(np.asarray(vals[0], dtype=np.float64))
+        if name == "sqrt":
+            v = np.asarray(vals[0])
+            if np.any(v < 0):
+                raise ValueError("math domain error")
+            return RankVec(np.sqrt(v))
+        if name in ("sin", "cos", "exp", "log"):
+            # element-wise through libm: numpy's SIMD kernels for these
+            # are not guaranteed bit-identical to math.*
+            fn = getattr(math, name)
+            return RankVec(
+                np.array([fn(x) for x in np.asarray(vals[0]).tolist()])
+            )
+        if name in ("iand", "ior", "ieor"):
+            a = np.trunc(np.asarray(vals[0])).astype(np.int64)
+            b = np.trunc(np.asarray(vals[1])).astype(np.int64)
+            if name == "iand":
+                return RankVec(a & b)
+            if name == "ior":
+                return RankVec(a | b)
+            return RankVec(a ^ b)
+        if name == "ishft":
+            a = np.trunc(np.asarray(vals[0])).astype(np.int64)
+            s = np.trunc(np.asarray(vals[1])).astype(np.int64)
+            left = np.left_shift(a, np.maximum(s, 0))
+            right = np.right_shift(a, np.maximum(-s, 0))
+            return RankVec(np.asarray(np.where(s >= 0, left, right)))
+        if name == "merge":
+            t, f, cond = vals
+            if isinstance(args[2], RankVec):
+                cond = np.asarray(cond) != 0
+            else:
+                cond = bool(cond)
+            return RankVec(np.asarray(np.where(cond, t, f)))
+        # "size" and unknown intrinsics: raise the scalar path's error
+        return self._intrinsic_value(name, [_rep_of(a) for a in args], line)
+
+    # ------------------------------------------------------ shadowed arrays
+
+    def _read_element(
+        self, name: str, arr: FArray, subs: List[Any], line: int
+    ) -> Any:
+        for s in subs:
+            if isinstance(s, ApproxVec):
+                raise s._dropped(f"as a subscript reading {name!r}")
+        if any(isinstance(s, RankVec) for s in subs):
+            return self._gather(name, arr, subs, line)
+        subs = [int(s) for s in subs]
+        shadow = self.shadows.get(name)
+        if shadow is None:
+            value = arr.get(subs)
+            if name in self._approx:
+                return ApproxVec(value)
+            return value
+        return self._collapse(shadow[:, arr.flat_offset(subs)], arr.base_type)
+
+    def _gather(
+        self, name: str, arr: FArray, subs: List[Any], line: int
+    ) -> Any:
+        """Read with rank-dependent subscripts: each rank reads its own
+        element (halo-exchange style, e.g. ``halo(left * 2 + 2)``)."""
+        if len(subs) != arr.rank:
+            raise InterpError(
+                f"rank mismatch: {len(subs)} subscripts for rank-{arr.rank} "
+                f"array"
+            )
+        P = self.nranks
+        offs: Any = np.zeros(P, dtype=np.int64)
+        stride = 1
+        for s, lo, extent in zip(subs, arr.lbounds, arr.shape):
+            sv = s.values if isinstance(s, RankVec) else int(s)
+            off_d = sv - lo
+            bad = (np.asarray(off_d) < 0) | (np.asarray(off_d) >= extent)
+            if np.any(bad):
+                where = np.atleast_1d(np.asarray(off_d) + lo)[
+                    int(np.argmax(np.atleast_1d(bad)))
+                ]
+                raise InterpError(
+                    f"subscript {int(where)} out of bounds "
+                    f"[{lo}, {lo + extent - 1}]"
+                )
+            offs = offs + off_d * stride
+            stride *= extent
+        shadow = self.shadows.get(name)
+        if shadow is not None:
+            col = shadow[np.arange(P), offs]
+        elif name in self._approx:
+            v = np.asarray(arr.flat())[int(offs[0])]
+            return ApproxVec(
+                float(v) if arr.base_type == "real" else int(v)
+            )
+        else:
+            col = np.asarray(arr.flat())[offs]
+        return self._collapse(col, arr.base_type)
+
+    def _collapse(self, col: np.ndarray, base_type: str) -> Any:
+        first = col[0]
+        if (col == first).all():
+            return float(first) if base_type == "real" else int(first)
+        return RankVec(col.copy())
+
+    def _store_element(
+        self, name: str, arr: FArray, subs: List[Any], value: Any, line: int
+    ) -> None:
+        if any(isinstance(s, _VECS) for s in subs):
+            raise SymmetryError(
+                f"rank-dependent subscript in a store to {name!r}: ranks "
+                f"would write different elements of the same array"
+            )
+        subs = [int(s) for s in subs]
+        if isinstance(value, ApproxVec):
+            self._demote_to_rank0(name, arr)
+            arr.set(subs, value.rep)
+            self._approx.add(name)
+            return
+        if isinstance(value, RankVec):
+            shadow = self._shadow_for(name, arr)
+            if shadow is None:  # over budget: keep rank 0's copy only
+                arr.set(subs, value.values[0].item())
+                self._approx.add(name)
+                return
+            shadow[:, arr.flat_offset(subs)] = value.values
+            return
+        shadow = self.shadows.get(name)
+        if shadow is not None:
+            shadow[:, arr.flat_offset(subs)] = value
+            return
+        arr.set(subs, value)
+
+    def _shadow_for(self, name: str, arr: FArray) -> Optional[np.ndarray]:
+        shadow = self.shadows.get(name)
+        if shadow is not None:
+            return shadow
+        if name in self._approx:
+            return None
+        flat = np.asarray(arr.flat())
+        need = flat.nbytes * self.nranks
+        if self._shadow_bytes + need > self.max_shadow_bytes:
+            return None
+        shadow = np.repeat(flat[None, :], self.nranks, axis=0)
+        self.shadows[name] = shadow
+        self._shadow_bytes += need
+        return shadow
+
+    def _drop_shadow(self, name: str) -> None:
+        shadow = self.shadows.pop(name, None)
+        if shadow is not None:
+            self._shadow_bytes -= shadow.nbytes
+
+    def _demote_to_rank0(self, name: str, arr: FArray) -> None:
+        shadow = self.shadows.pop(name, None)
+        if shadow is not None:
+            self._shadow_bytes -= shadow.nbytes
+            arr.flat()[:] = shadow[0]
+
+    def _send_rows(self, name: str, arr: FArray) -> np.ndarray:
+        """Every rank's flat copy of ``name``: the shadow, or a broadcast
+        view of the rank-uniform contents (no copy)."""
+        shadow = self.shadows.get(name)
+        if shadow is not None:
+            return shadow
+        flat = np.asarray(arr.flat())
+        return np.broadcast_to(flat, (self.nranks, flat.size))
+
+    def _budget_allows(self, name: str, need: int) -> bool:
+        current = self.shadows.get(name)
+        used = self._shadow_bytes - (
+            current.nbytes if current is not None else 0
+        )
+        return used + need <= self.max_shadow_bytes
+
+    def _install_rows(
+        self, name: str, arr: FArray, rows: np.ndarray
+    ) -> None:
+        """Replace ``name``'s contents with per-rank rows, collapsing to
+        rank-uniform storage when every row coincides."""
+        if rows.dtype != arr.data.dtype:
+            rows = rows.astype(arr.data.dtype)
+        first = rows[0]
+        if (rows == first).all():
+            self._drop_shadow(name)
+            arr.flat()[:] = first
+            self._approx.discard(name)
+            return
+        self._drop_shadow(name)
+        rows = np.ascontiguousarray(rows)
+        self.shadows[name] = rows
+        self._shadow_bytes += rows.nbytes
+        self._approx.discard(name)
+
+    # -------------------------------------------------------------- MPI
+
+    def _exec_mpi(self, stmt, frame: Frame) -> Gen:
+        yield from self._flush()
+        name = stmt.name
+        if name == "mpi_alltoall":
+            self._rec_alltoall(stmt, frame)
+        elif name == "mpi_allreduce":
+            self._rec_allreduce(stmt, frame)
+        elif name == "mpi_allgather":
+            self._rec_allgather(stmt, frame)
+        elif name == "mpi_bcast":
+            self._rec_bcast(stmt, frame)
+        elif name == "mpi_barrier":
+            self.trace.append(("barrier",))
+        else:
+            raise SymmetryError(
+                f"{name}: point-to-point partners/counts are per-rank "
+                f"expressions; symmetry is not provable for explicit "
+                f"send/recv programs"
+            )
+        self._set_ierr(stmt, frame)
+
+    def _rec_alltoall(self, stmt, frame: Frame) -> None:
+        P = self.nranks
+        if len(stmt.args) < 7:
+            raise InterpError("mpi_alltoall needs 8 arguments", stmt.line)
+        send = self._whole_array(stmt.args[0], frame, stmt.line)
+        recv = self._whole_array(stmt.args[3], frame, stmt.line)
+        scount = int(self._eval(stmt.args[1], frame))
+        if scount * P != send.size:
+            raise InterpError(
+                f"mpi_alltoall send count {scount} * {P} ranks != "
+                f"buffer size {send.size}",
+                stmt.line,
+            )
+        if send.size % P or recv.size % P:
+            raise SimulationError(
+                f"alltoall buffer length {send.size} not divisible by "
+                f"{P} ranks"
+            )
+        if recv.size != send.size:
+            raise SimulationError("alltoall send/recv sizes differ")
+        sname, rname = stmt.args[0].name, stmt.args[3].name
+        self.trace.append(("alltoall", send.size, recv.size))
+        part = send.size // P
+        if sname in self._approx:
+            # senders' true rows are unknown; deterministic fill
+            rep = np.asarray(send.flat())
+            self._drop_shadow(rname)
+            recv.flat()[:] = np.tile(rep[:part], P)
+            self._approx.add(rname)
+            return
+        rows = self._send_rows(sname, send)
+        if not self._budget_allows(rname, P * send.size * rows.dtype.itemsize):
+            # recv row r is rank r's exact result; keep only rank 0's:
+            # recv_0 block i = send_i block 0
+            rep_row = np.ascontiguousarray(rows[:, :part]).reshape(-1)
+            self._drop_shadow(rname)
+            recv.flat()[:] = rep_row
+            self._approx.add(rname)
+            return
+        # recv_j partition i = send_i partition j: a blocked transpose
+        cube = np.ascontiguousarray(rows).reshape(P, P, part)
+        recv_rows = np.ascontiguousarray(cube.transpose(1, 0, 2)).reshape(
+            P, send.size
+        )
+        self._install_rows(rname, recv, recv_rows)
+
+    def _rec_allreduce(self, stmt, frame: Frame) -> None:
+        from ..runtime.collectives import OP_CODES, reduce_ufunc
+
+        P = self.nranks
+        if len(stmt.args) not in (4, 5):
+            raise InterpError(
+                "mpi_allreduce needs (sbuf, rbuf, count[, op], ierr)",
+                stmt.line,
+            )
+        send = self._whole_array(stmt.args[0], frame, stmt.line)
+        recv = self._whole_array(stmt.args[1], frame, stmt.line)
+        count = int(self._eval(stmt.args[2], frame))
+        if count != send.size or count != recv.size:
+            raise InterpError(
+                f"mpi_allreduce count {count} != buffer sizes "
+                f"{send.size}/{recv.size}",
+                stmt.line,
+            )
+        op = "sum"
+        if len(stmt.args) == 5:
+            code = int(self._eval(stmt.args[3], frame))
+            if code not in OP_CODES:
+                raise InterpError(
+                    f"mpi_allreduce op code {code} unknown "
+                    f"(0 sum, 1 max, 2 min, 3 prod)",
+                    stmt.line,
+                )
+            op = OP_CODES[code]
+        if send.base_type == "real" or recv.base_type == "real":
+            raise SymmetryError(
+                "allreduce on real data: each algorithm's combination "
+                "order groups the floating-point reduction differently, "
+                "which an algebraic replay cannot reproduce"
+            )
+        sname, rname = stmt.args[0].name, stmt.args[1].name
+        self.trace.append(("allreduce", count, op))
+        ufunc = reduce_ufunc(op)
+        if sname in self._approx:
+            rep = np.asarray(send.flat())
+            res = ufunc.reduce(np.broadcast_to(rep, (P, rep.size)), axis=0)
+            self._drop_shadow(rname)
+            recv.flat()[:] = res
+            self._approx.add(rname)
+            return
+        res = ufunc.reduce(self._send_rows(sname, send), axis=0)
+        self._drop_shadow(rname)
+        recv.flat()[:] = res
+        self._approx.discard(rname)
+
+    def _rec_allgather(self, stmt, frame: Frame) -> None:
+        P = self.nranks
+        if len(stmt.args) != 4:
+            raise InterpError(
+                "mpi_allgather needs (sbuf, scount, rbuf, ierr)", stmt.line
+            )
+        send = self._whole_array(stmt.args[0], frame, stmt.line)
+        recv = self._whole_array(stmt.args[2], frame, stmt.line)
+        scount = int(self._eval(stmt.args[1], frame))
+        if scount != send.size:
+            raise InterpError(
+                f"mpi_allgather send count {scount} != buffer size "
+                f"{send.size}",
+                stmt.line,
+            )
+        if scount * P != recv.size:
+            raise InterpError(
+                f"mpi_allgather recv buffer size {recv.size} != count "
+                f"{scount} * {P} ranks",
+                stmt.line,
+            )
+        sname, rname = stmt.args[0].name, stmt.args[2].name
+        self.trace.append(("allgather", send.size, recv.size))
+        if sname in self._approx:
+            rep = np.asarray(send.flat())
+            self._drop_shadow(rname)
+            recv.flat()[:] = np.tile(rep, P)
+            self._approx.add(rname)
+            return
+        # partition j of every rank's recv is rank j's send: the result
+        # is rank-uniform even when the contributions differ
+        flat = np.ascontiguousarray(self._send_rows(sname, send)).reshape(-1)
+        self._drop_shadow(rname)
+        recv.flat()[:] = flat
+        self._approx.discard(rname)
+
+    def _rec_bcast(self, stmt, frame: Frame) -> None:
+        P = self.nranks
+        if len(stmt.args) != 4:
+            raise InterpError(
+                "mpi_bcast needs (buf, count, root, ierr)", stmt.line
+            )
+        buf = self._whole_array(stmt.args[0], frame, stmt.line)
+        count = int(self._eval(stmt.args[1], frame))
+        if count != buf.size:
+            raise InterpError(
+                f"mpi_bcast count {count} != buffer size {buf.size}",
+                stmt.line,
+            )
+        root = int(self._eval(stmt.args[2], frame))
+        if not 0 <= root < P:
+            raise SimulationError(
+                f"bcast root {root} out of range for {P} ranks"
+            )
+        name = stmt.args[0].name
+        self.trace.append(("bcast", count, root))
+        shadow = self.shadows.get(name)
+        if shadow is not None:
+            row = shadow[root].copy()
+            self._drop_shadow(name)
+            buf.flat()[:] = row
+            self._approx.discard(name)
+        # rank-uniform buf: broadcasting is the identity; approximate
+        # buf: the root's true contents are unknown, so it stays approx

@@ -160,6 +160,11 @@ class SimResult:
     rank_times: List[float]
     stats: List[RankStats]
     warnings: List[str] = field(default_factory=list)
+    # scheduler operations consumed (SimOps + heap events + wakes); a
+    # deterministic function of the op streams, so replay and full
+    # interpretation of the same job report the same count.  Throughput
+    # benchmarks divide this by wall time for an events/sec figure.
+    ops_processed: int = 0
 
     @property
     def total_bytes(self) -> int:

@@ -52,6 +52,7 @@ class SimComm:
         rank: int,
         size: int,
         collectives: CollectiveSpec = None,
+        staging: Optional[Dict[Any, np.ndarray]] = None,
     ) -> None:
         if not 0 <= rank < size:
             raise SimulationError(f"invalid rank {rank} of {size}")
@@ -60,6 +61,7 @@ class SimComm:
         self._pending_sends: List[int] = []
         self._pending_recvs: List[int] = []
         self._collectives: Dict[str, str] = resolve_suite(collectives)
+        self._staging = staging
 
     # ------------------------------------------------------------- queries
 
@@ -199,6 +201,28 @@ class SimComm:
         buf = buffer.reshape(-1)
         algorithm = get_algorithm("bcast", self._collectives["bcast"])
         yield from algorithm(self, buf, root)
+
+    def staging_buffer(self, key: Any, size: int, dtype: Any) -> np.ndarray:
+        """Scratch array for a collective algorithm's internal staging.
+
+        In full interpretation (no pool) every call allocates privately,
+        since each rank's staged payload is live data.  The replay
+        engine passes one shared ``staging`` dict for the whole cluster:
+        replayed payload values are never read back (final data comes
+        from the recorder's shadows, and engine timing depends only on
+        operation sizes and order), so all ranks may clobber the same
+        buffers — keeping the cluster's memory footprint O(buffer)
+        instead of O(nranks * buffer).  Contents are undefined; callers
+        must fill the buffer before charging/sending from it.
+        """
+        if self._staging is None:
+            return np.empty(size, dtype)
+        full_key = (key, size, np.dtype(dtype).str)
+        buf = self._staging.get(full_key)
+        if buf is None:
+            buf = np.empty(size, dtype)
+            self._staging[full_key] = buf
+        return buf
 
     # ----------------------------------------------------------------- misc
 

@@ -40,6 +40,15 @@ Fast path: operations dispatch through a per-type handler table, and a
 run of consecutive ``Compute`` yields from one rank is drained in a
 single step (they only advance that rank's private clock, so skipping
 the global scheduler between them cannot change any observable timing).
+
+Scheduling is heap-based: runnable ranks live in a priority heap keyed
+``(time, rank_index)`` alongside the transfer-event heap, so picking the
+next actor is O(log P) rather than an O(P) scan — the difference between
+dozens and thousands of ranks.  Entries are invalidated by a per-rank
+token rather than removed (see :meth:`Engine._touch`); the orderings the
+linear scan established are preserved exactly: transfer events beat rank
+activity at equal virtual times, and the lowest rank index wins ties
+between ranks.
 """
 
 from __future__ import annotations
@@ -144,13 +153,28 @@ class Engine:
         network: "NetworkModel | str",
         *,
         detect_races: bool = True,
+        snapshot_payloads: bool = True,
     ) -> None:
         self.network = resolve_model(network)
         self.detect_races = detect_races
+        # Copy-on-write payload snapshots can be switched off entirely for
+        # callers that only consume timing (the symmetry replay engine):
+        # payloads then deliver straight from the live view.  Race
+        # detection needs the snapshots for its comparisons, so the two
+        # knobs cannot be split that way.
+        if detect_races and not snapshot_payloads:
+            raise SimulationError(
+                "detect_races=True requires snapshot_payloads=True"
+            )
+        self.snapshot_payloads = snapshot_payloads
         self.ranks = [_Rank(index=i, gen=g) for i, g in enumerate(programs)]
         self.nranks = len(self.ranks)
         self._seq = 0
         self._events: List[Tuple[float, int, Callable[[float], None]]] = []
+        # runnable/wakeable ranks, keyed (time, rank_index, token); an
+        # entry is live only while its token matches _rank_tokens[index]
+        self._rank_heap: List[Tuple[float, int, int]] = []
+        self._rank_tokens = [0] * self.nranks
         # unmatched state, keyed (dest, src, tag) in FIFO order
         self._unmatched_msgs: Dict[Tuple[int, int, int], List[Message]] = {}
         self._unmatched_recvs: Dict[Tuple[int, int, int], List[_RecvReq]] = {}
@@ -182,6 +206,7 @@ class Engine:
         """Drive all ranks to completion; returns makespan and stats."""
         for rank in self.ranks:
             self._step(rank)  # prime each generator to its first yield
+            self._touch(rank)
 
         while True:
             choice = self._next_actor()
@@ -196,8 +221,10 @@ class Engine:
                 action(time)
             elif kind == "wake":
                 self._resume_from_wait(payload, time)
+                self._touch(payload)
             else:  # "step"
                 self._step(payload)
+                self._touch(payload)
 
         rank_times = [r.clock for r in self.ranks]
         return SimResult(
@@ -205,35 +232,66 @@ class Engine:
             rank_times=rank_times,
             stats=[r.stats for r in self.ranks],
             warnings=list(self.warnings),
+            ops_processed=self.ops_processed,
         )
 
     # ------------------------------------------------------ engine schedule
+
+    def _touch(self, rank: _Rank) -> None:
+        """(Re)enqueue a rank at its next actionable virtual time.
+
+        Rather than deleting the rank's previous heap entry (heaps cannot
+        do that cheaply), the per-rank token is bumped so any earlier
+        entry is recognized as stale and discarded at pop time.  A rank
+        that is not actionable — finished, in a barrier, or blocked with
+        an unknown wake time — is simply not enqueued; the state change
+        that makes it actionable (a transfer completion, a barrier
+        release) touches it again.
+        """
+        if rank.status is _Status.READY:
+            time = rank.clock
+        elif rank.status is _Status.BLOCKED:
+            wake = self._wake_time(rank)
+            if wake is None:
+                return
+            time = wake
+        else:
+            return
+        token = self._rank_tokens[rank.index] + 1
+        self._rank_tokens[rank.index] = token
+        heapq.heappush(self._rank_heap, (time, rank.index, token))
 
     def _next_actor(self):
         """The next thing to happen, globally ordered by virtual time.
 
         Events beat rank activity at equal times (a transfer scheduled at
-        time t must resolve before a rank blocked at t re-checks).
+        time t must resolve before a rank blocked at t re-checks), and
+        the lowest rank index wins ties between ranks — both orderings
+        inherited from the linear scan this heap replaced, and pinned by
+        the determinism suite.
         """
-        best: Optional[Tuple[float, int, str, Any]] = None
-        if self._events:
-            t, seq, _ = self._events[0]
-            best = (t, 0, "event", None)
-        for rank in self.ranks:
-            if rank.status is _Status.READY:
-                cand = (rank.clock, 1, "step", rank)
-            elif rank.status is _Status.BLOCKED:
-                wake = self._wake_time(rank)
-                if wake is None:
-                    continue
-                cand = (wake, 1, "wake", rank)
-            else:
+        heap = self._rank_heap
+        tokens = self._rank_tokens
+        while heap:
+            t, idx, token = heap[0]
+            if token != tokens[idx] or self.ranks[idx].status not in (
+                _Status.READY,
+                _Status.BLOCKED,
+            ):
+                heapq.heappop(heap)
                 continue
-            if best is None or (cand[0], cand[1]) < (best[0], best[1]):
-                best = cand
-        if best is None:
+            break
+        if self._events:
+            et = self._events[0][0]
+            if not heap or et <= heap[0][0]:
+                return et, "event", None
+        if not heap:
             return None
-        return best[0], best[2], best[3]
+        t, idx, _ = heapq.heappop(heap)
+        rank = self.ranks[idx]
+        if rank.status is _Status.READY:
+            return t, "step", rank
+        return t, "wake", rank
 
     def _raise_deadlock(self) -> None:
         lines = []
@@ -393,8 +451,9 @@ class Engine:
             source_view=op.data,
             t_posted=rank.clock,
         )
-        self._lazy_msgs[rank.index].append(msg)
-        self._lazy_count += 1
+        if self.snapshot_payloads:
+            self._lazy_msgs[rank.index].append(msg)
+            self._lazy_count += 1
         # transfer scheduling happens at the rank's post-overhead time, in
         # global time order (the event heap), so NIC allocation is fair
         self._push_event(rank.clock, lambda t, m=msg: self._schedule_transfer(m, t))
@@ -419,6 +478,12 @@ class Engine:
         self._nic_recv_free[msg.dest] = start + wire
         msg.t_wire_start = start
         msg.t_complete = start + wire + network.msg_latency(msg.nbytes)
+        # the now-known completion time may be the last unknown in a
+        # blocked rank's wait set on either endpoint: requeue them
+        for endpoint in (msg.src, msg.dest):
+            rank = self.ranks[endpoint]
+            if rank.status is _Status.BLOCKED:
+                self._touch(rank)
 
     def _match_send(self, msg: Message) -> None:
         key = (msg.dest, msg.src, msg.tag)
@@ -428,6 +493,9 @@ class Engine:
             if not queue:
                 del self._unmatched_recvs[key]
             req.matched = msg
+            receiver = self.ranks[msg.dest]
+            if receiver.status is _Status.BLOCKED:
+                self._touch(receiver)
         else:
             self._unmatched_msgs.setdefault(key, []).append(msg)
 
@@ -590,6 +658,7 @@ class Engine:
             r.clock = t + cost
             r.stats.mpi_overhead_time += cost
             r.status = _Status.READY
+            self._touch(r)
         self._barrier_waiting.clear()
 
     def nranks_active(self) -> int:
@@ -611,9 +680,15 @@ def simulate(
     network: "NetworkModel | str",
     *,
     detect_races: bool = True,
+    snapshot_payloads: bool = True,
 ) -> SimResult:
     """Convenience wrapper: build an :class:`Engine` and run it.
 
     ``network`` is a model instance or a registered scenario name.
     """
-    return Engine(programs, network, detect_races=detect_races).run()
+    return Engine(
+        programs,
+        network,
+        detect_races=detect_races,
+        snapshot_payloads=snapshot_payloads,
+    ).run()

@@ -69,7 +69,20 @@ def compare_runs(
     arrays: Optional[Sequence[str]] = None,
     max_report: int = 20,
 ) -> EquivalenceReport:
-    """Compare two completed cluster runs rank by rank."""
+    """Compare two completed cluster runs rank by rank.
+
+    Runs flagged ``data_approximate`` (replay-engine shadow budget
+    exceeded, DESIGN.md §10) are refused outright: their arrays hold
+    deterministic representatives, not real per-rank contents, so a
+    comparison would be meaningless rather than merely failing.
+    """
+    for which, run in (("original", original), ("transformed", transformed)):
+        if run.data_approximate:
+            raise VerificationError(
+                f"cannot verify: the {which} run carries approximate "
+                "per-rank array data (replay shadow budget exceeded); "
+                "rerun it with engine_mode='full' to compare real contents"
+            )
     skip_set = {s.lower() for s in skip}
     mismatches: List[str] = []
     compared: List[str] = []

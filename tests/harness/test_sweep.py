@@ -302,3 +302,95 @@ class TestSweepEngine:
             collective_label("alltoall=bruck,allreduce=ring")
             == "alltoall=bruck,allreduce=ring"
         )
+
+
+class TestEngineModeKeys:
+    """Replay-engine cache-key rules (DESIGN.md §10): engine mode is NOT
+    part of the key (all modes are bit-identical, so they must share
+    entries), while the symmetry-analyzer version IS (a semantics bump
+    must invalidate replay-produced results)."""
+
+    def base_job(self, **overrides):
+        kwargs = dict(program=PROGRAM, nranks=2, network="gmnet")
+        kwargs.update(overrides)
+        return ClusterJob(**kwargs)
+
+    def test_engine_mode_does_not_move_the_key(self):
+        keys = {
+            job_fingerprint(self.base_job(engine_mode=mode))
+            for mode in ("auto", "replay", "full")
+        }
+        assert len(keys) == 1
+
+    def test_symmetry_version_moves_the_key(self, monkeypatch):
+        import repro.interp.symmetry as symmetry
+
+        base = job_fingerprint(self.base_job())
+        monkeypatch.setattr(symmetry, "SYMMETRY_VERSION", "999-test")
+        assert job_fingerprint(self.base_job()) != base
+
+    def test_modes_share_sweep_cache_entries(self, tmp_path):
+        from repro.api import Session
+
+        symmetric = tiny_spec(variants=("original",))
+        with Session(cache_dir=tmp_path / "c", engine_mode="full") as s:
+            cold = s.sweep(symmetric)
+        assert cold.stats.simulated > 0
+        with Session(cache_dir=tmp_path / "c", engine_mode="replay") as s:
+            warm = s.sweep(symmetric)
+        assert warm.stats.total_simulated == 0
+        assert [r.measurement for r in warm.runs] == [
+            r.measurement for r in cold.runs
+        ]
+
+    def test_warm_1024_rank_sweep_does_zero_simulations(self, tmp_path):
+        """The scaling endgame: once measured (or migrated), a
+        1024-rank sweep re-runs entirely from the cache — the spec is
+        expanded and fingerprinted, but nothing simulates."""
+        import dataclasses as _dc
+
+        from repro.api import Session
+        from repro.harness.sweep import SweepCache
+
+        spec = SweepSpec(
+            name="warm-1024",
+            app="nodeloop",
+            app_kwargs={"n": 1024, "steps": 1, "stages": 0},
+            nranks=(1024,),
+            variants=("original",),
+            collectives=({"alltoall": "bruck"},),
+            verify=False,
+        )
+        points, verifications = expand_spec(spec)
+        assert verifications == []
+        cache = SweepCache(tmp_path / "c")
+        for point in points:
+            fp = job_fingerprint(point.job())
+            synthetic = Measurement(
+                label=point.label,
+                network=point.network.name,
+                time=1.25,
+                compute_time=1.0,
+                wait_time=0.125,
+                mpi_overhead=0.125,
+                messages=10240,
+                bytes_sent=8 << 20,
+                unexpected=0,
+                warnings=[],
+                collective="alltoall=bruck",
+            )
+            cache.put(
+                fp,
+                {
+                    "kind": "measurement",
+                    "inputs": dict(point.axes),
+                    "measurement": _dc.asdict(synthetic),
+                },
+            )
+        with Session(cache_dir=tmp_path / "c") as s:
+            warm = s.sweep(spec)
+        assert warm.stats.total_simulated == 0
+        assert warm.stats.mode == "none"
+        assert len(warm.runs) == len(points)
+        assert all(r.cached for r in warm.runs)
+        assert warm.runs[0].measurement.time == 1.25

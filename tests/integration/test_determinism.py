@@ -81,3 +81,51 @@ class TestPoolDeterminism:
         assert len(pooled) == len(serial)
         for a, b in zip(serial, pooled):
             assert_runs_bit_identical(a, b)
+
+
+class TestReplayScaleDeterminism:
+    """§3.2 at scale: a 256-rank sweep through the replay engine
+    (DESIGN.md §10) is a pure function of its spec — run twice serially
+    and once through the process pool, it must produce bit-identical
+    measurements and identical content-addressed cache keys."""
+
+    @staticmethod
+    def _spec():
+        from repro.harness.sweep import SweepSpec
+
+        return SweepSpec(
+            name="scale-256",
+            app="nodeloop",
+            app_kwargs={"n": 256, "steps": 1, "stages": 0},
+            nranks=(256,),
+            variants=("original",),
+            collectives=({"alltoall": "bruck"},),
+            verify=False,
+        )
+
+    def test_cache_keys_are_stable(self):
+        from repro.harness.sweep import expand_spec
+        from repro.interp.runner import job_fingerprint
+
+        first, _ = expand_spec(self._spec())
+        second, _ = expand_spec(self._spec())
+        assert [job_fingerprint(p.job()) for p in first] == [
+            job_fingerprint(p.job()) for p in second
+        ]
+
+    def test_serial_twice_and_pooled_are_bit_identical(self):
+        from repro.api import Session
+
+        spec = self._spec()
+        with Session(jobs=None) as s:
+            serial_a = s.sweep(spec)
+            serial_b = s.sweep(spec)
+        assert serial_a.stats.simulated == serial_b.stats.simulated > 0
+        assert [r.measurement for r in serial_a.runs] == [
+            r.measurement for r in serial_b.runs
+        ]  # Measurement is a dataclass: == is bit-exact on every float
+        with Session(jobs=2) as s:
+            pooled = s.sweep(spec)
+        assert [r.measurement for r in pooled.runs] == [
+            r.measurement for r in serial_a.runs
+        ]

@@ -385,3 +385,100 @@ class TestVariants:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tile-only" in out and "no-interchange" in out
+
+
+P2P_KERNEL = """
+program ring
+  integer :: buf(1:8)
+  integer :: i, ierr
+  do i = 1, 8
+    buf(i) = i + mynode()
+  enddo
+  call mpi_isend(buf, 8, mod(mynode() + 1, numnodes()), 0, ierr)
+  call mpi_waitall(ierr)
+end program ring
+"""
+
+
+class TestEngineMode:
+    """--engine-mode on run/bench/sweep (DESIGN.md §10)."""
+
+    @pytest.fixture
+    def p2p_file(self, tmp_path):
+        p = tmp_path / "p2p.f90"
+        p.write_text(P2P_KERNEL)
+        return p
+
+    def test_run_round_trips_and_modes_agree(self, kernel_file, capsys):
+        reports = {}
+        for mode in ("auto", "replay", "full"):
+            rc = main(
+                ["run", str(kernel_file), "-n", "4", "--engine-mode", mode]
+            )
+            assert rc == 0
+            reports[mode] = capsys.readouterr().out
+            assert "makespan:" in reports[mode]
+        # the engine contract: every mode prints the same numbers
+        assert reports["auto"] == reports["replay"] == reports["full"]
+
+    def test_forced_replay_on_asymmetric_program_errors(
+        self, p2p_file, capsys
+    ):
+        rc = main(
+            ["run", str(p2p_file), "-n", "4", "--engine-mode", "replay"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "not provably rank-symmetric" in err
+
+    def test_auto_falls_back_silently_on_asymmetric_program(
+        self, p2p_file, capsys
+    ):
+        assert main(["run", str(p2p_file), "-n", "4"]) == 0
+        auto = capsys.readouterr()
+        assert main(
+            ["run", str(p2p_file), "-n", "4", "--engine-mode", "full"]
+        ) == 0
+        full = capsys.readouterr()
+        assert auto.out == full.out
+        assert "not provably rank-symmetric" not in auto.err
+
+    def test_run_rejects_unknown_mode(self, kernel_file, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", str(kernel_file), "-n", "4", "--engine-mode", "warp"]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bench_accepts_engine_mode(self, capsys):
+        rc = main(["bench", "nodeloop", "--engine-mode", "full"])
+        assert rc == 0
+        assert "Ablation E" in capsys.readouterr().out
+
+    def test_sweep_engine_modes_share_results(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--app",
+            "fft",
+            "--n",
+            "8",
+            "--nranks",
+            "4",
+            "--variant",
+            "original",
+            "--no-verify",
+            "--no-cache",
+        ]
+        outs = {}
+        for mode in ("replay", "full"):
+            out = tmp_path / f"{mode}.json"
+            rc = main(args + ["--engine-mode", mode, "-o", str(out)])
+            assert rc == 0
+            capsys.readouterr()
+            outs[mode] = json.loads(out.read_text())
+        replay = outs["replay"]["result"]["runs"]
+        full = outs["full"]["result"]["runs"]
+        assert replay and len(replay) == len(full)
+        for a, b in zip(replay, full):
+            assert a["measurement"] == b["measurement"]
