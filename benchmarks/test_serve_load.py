@@ -1,0 +1,137 @@
+"""Sweep-service load benchmark (DESIGN.md §11) — ``BENCH_serve.json``.
+
+One entry per concurrency level (1, 4, 16 clients), each measuring the
+same protocol round trip twice:
+
+- **cold**: every client concurrently submits the *identical* sweep
+  against an empty cache — the coalescing layers must collapse the
+  C x points requested simulations down to one per unique fingerprint;
+- **warm**: the same clients resubmit after the cache is populated —
+  zero simulations, pure cache service.
+
+``requests_per_sec_cold`` / ``requests_per_sec_warm`` land in
+``extra_info`` for the CI artifact.  The asserted facts are the
+deterministic ones: the dedup ratio (simulations run ÷ points
+requested) stays **below 1.0** whenever identical submissions overlap,
+warm rounds simulate nothing, and the warm payload is bit-identical to
+a direct in-process ``Session.sweep`` of the same spec over the same
+cache — the service is a transport, not a different engine.
+
+Wall-clock rates are recorded but not asserted (CI runners vary);
+``rounds=1`` as everywhere in this suite — the simulator is
+deterministic, so repetition only burns wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro.api import Session
+from repro.harness.sweep import SweepSpec
+from repro.serve import ServeClient, ThreadedServer
+
+pytestmark = pytest.mark.smoke
+
+WARM_ROUNDS = 3
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="serve-load",
+        app="fft",
+        app_kwargs={"n": 8, "steps": 1, "stages": 2},
+        nranks=(4,),
+        tile_sizes=(4,),
+        networks=("gmnet",),
+        verify=False,
+    )
+
+
+def _submit_wave(port: int, clients: int, rounds: int = 1):
+    """``clients`` threads, each submitting the identical spec
+    ``rounds`` times on its own connection; returns (elapsed seconds,
+    one representative result payload)."""
+    spec = _spec()
+    results = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        with ServeClient(port=port) as client:
+            for _ in range(rounds):
+                results[i] = client.sweep(spec)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = perf_counter() - t0
+    assert all(r is not None for r in results)
+    # identical submissions must yield identical tables, whoever served
+    tables = [[run["measurement"] for run in r["runs"]] for r in results]
+    assert all(t == tables[0] for t in tables)
+    return elapsed, results[0]
+
+
+@pytest.mark.parametrize("clients", [1, 4, 16])
+def test_serve_load(benchmark, clients, tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    def run_once():
+        with ThreadedServer(cache_dir=cache_dir) as ts:
+            cold_s, _ = _submit_wave(ts.port, clients)
+            with ServeClient(port=ts.port) as c:
+                after_cold = c.status()["stats"]
+            warm_s, warm_result = _submit_wave(
+                ts.port, clients, rounds=WARM_ROUNDS
+            )
+            with ServeClient(port=ts.port) as c:
+                after_warm = c.status()["stats"]
+        return cold_s, warm_s, warm_result, after_cold, after_warm
+
+    cold_s, warm_s, warm_result, after_cold, after_warm = benchmark.pedantic(
+        run_once, rounds=1, iterations=1
+    )
+
+    points_per_request = after_cold["points_requested"] // clients
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["points_per_request"] = points_per_request
+    benchmark.extra_info["requests_per_sec_cold"] = round(
+        clients / cold_s, 2
+    )
+    benchmark.extra_info["requests_per_sec_warm"] = round(
+        clients * WARM_ROUNDS / warm_s, 2
+    )
+    benchmark.extra_info["simulations"] = after_warm["simulations"]
+    benchmark.extra_info["points_requested"] = after_warm[
+        "points_requested"
+    ]
+    benchmark.extra_info["dedup_ratio"] = after_warm["dedup_ratio"]
+
+    # the tentpole acceptance criterion: concurrent identical
+    # submissions trigger exactly one simulation pass per unique point
+    assert after_cold["simulations"] == points_per_request
+    assert after_warm["simulations"] == after_cold["simulations"]
+    assert after_warm["dedup_ratio"] < 1.0
+    if clients > 1:
+        # even the cold wave alone deduplicated across clients
+        assert (
+            after_cold["simulations"] / after_cold["points_requested"]
+        ) < 1.0
+
+    # warm results are bit-identical to a direct in-process sweep over
+    # the same cache (json round-trip matches the wire encoding)
+    with Session(cache_dir=cache_dir) as session:
+        direct = session.sweep(_spec())
+    assert direct.stats.simulated == 0
+    direct_runs = json.loads(json.dumps(direct.to_json()))["runs"]
+    assert direct_runs == warm_result["runs"]

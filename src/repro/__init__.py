@@ -52,9 +52,12 @@ from .errors import (  # noqa: F401
     InterpError,
     LexError,
     NotAffineError,
+    OverloadError,
     ParseError,
     PatternError,
     ReproError,
+    RequestError,
+    ServeError,
     SimulationError,
     SourceError,
     TransformError,
@@ -79,6 +82,12 @@ from .transform.prepush import (  # noqa: F401
     SiteReport,
     TransformReport,
     prepush,
+)
+from .serve import (  # noqa: F401
+    AsyncServeClient,
+    ServeClient,
+    SweepServer,
+    ThreadedServer,
 )
 from .verify import (  # noqa: F401
     EquivalenceReport,
@@ -134,5 +143,13 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "VerificationError",
+    "ServeError",
+    "RequestError",
+    "OverloadError",
+    # the sweep service (repro.serve)
+    "SweepServer",
+    "ThreadedServer",
+    "ServeClient",
+    "AsyncServeClient",
     "__version__",
 ]

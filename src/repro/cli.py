@@ -19,6 +19,14 @@ Subcommands mirror the workflow of the paper's system:
 ``sweep``      the declarative sweep engine: run figure/ablation sweeps
                (or a custom/JSON spec) through the content-addressed
                result cache, optionally sharded over a process pool
+``serve``      start the async sweep service (DESIGN.md §11): accepts
+               sweep/compare/verify requests over line-delimited JSON,
+               coalesces identical work, and shares one result cache
+               across every client
+``submit``     send a sweep (the same --app/--spec flags as ``sweep``)
+               to a running server; also ``--status`` and ``--shutdown``
+``cache``      inspect (``info``) or garbage-collect (``prune``) the
+               content-addressed result cache
 
 Every ``--network`` flag accepts any name from the scenario registry
 (:mod:`repro.runtime.network`): the classic stacks (``hostnet``/``mpich``,
@@ -77,6 +85,12 @@ Examples::
     compuniformer sweep --app fft --n 16 --nranks 4 --tile-size 2 \\
         --tile-size 4 --variant tile-only --network gmnet -o sweep.json
     compuniformer sweep --spec myspec.json --no-cache
+    compuniformer serve --cache-dir .sweep-cache --jobs 4 --port 7070
+    compuniformer submit --port 7070 --app fft --n 16 --nranks 8
+    compuniformer submit --port 7070 --status
+    compuniformer submit --port 7070 --shutdown
+    compuniformer cache info --cache-dir .sweep-cache
+    compuniformer cache prune --cache-dir .sweep-cache --dry-run
 
 ``sweep`` is the cached path to every figure: the first (cold) run
 simulates and fills ``--cache-dir``; re-runs reproduce the same tables
@@ -183,6 +197,80 @@ def _add_collective_arg(p: argparse.ArgumentParser) -> None:
         help="collective algorithm: a registered name (e.g. 'bruck', "
         "'ring') or 'collective=algorithm' pairs; see "
         "'compuniformer collectives'",
+    )
+
+
+def _add_spec_axis_args(p: argparse.ArgumentParser) -> None:
+    """Custom-sweep spec flags shared by ``sweep`` and ``submit``.
+
+    Each repeatable flag contributes one axis value; :func:`_custom_spec`
+    folds them into a :class:`~repro.harness.sweep.SweepSpec`.
+    """
+    p.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON sweep spec (one object or a list; see DESIGN.md §7)",
+    )
+    p.add_argument("--app", help="custom sweep: workload builder name")
+    p.add_argument("--name", help="custom sweep: spec name (default: cli-APP)")
+    p.add_argument("--n", type=int, default=None, help="workload size")
+    p.add_argument(
+        "--nranks",
+        type=int,
+        action="append",
+        default=None,
+        help="rank-count axis value (repeatable)",
+    )
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--stages", type=int, default=None)
+    p.add_argument(
+        "-K",
+        "--tile-size",
+        type=_tile_size,
+        action="append",
+        default=None,
+        help="tile-size axis value (repeatable; default auto)",
+    )
+    p.add_argument(
+        "--variant",
+        action="append",
+        choices=list_variants(),
+        default=None,
+        help="variant axis value (repeatable; default original+prepush; "
+        "see 'compuniformer variants')",
+    )
+    p.add_argument(
+        "--interchange",
+        action="append",
+        choices=["auto", "never"],
+        default=None,
+        help="interchange axis value (repeatable; default auto)",
+    )
+    p.add_argument(
+        "--network",
+        action="append",
+        choices=list_models(),
+        default=None,
+        help="network axis value (repeatable; default gmnet)",
+    )
+    p.add_argument(
+        "--collective",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="collective axis value (repeatable; default registry defaults)",
+    )
+    p.add_argument(
+        "--cpu-scale",
+        type=float,
+        action="append",
+        default=None,
+        help="cost-model scale axis value (repeatable; default 1.0)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the §4 equivalence check of transformed pairs",
     )
 
 
@@ -315,72 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="figure/ablation to sweep (default: all; ignored with "
         "--spec/--app)",
     )
-    p.add_argument(
-        "--spec",
-        metavar="FILE",
-        help="JSON sweep spec (one object or a list; see DESIGN.md §7)",
-    )
-    p.add_argument("--app", help="custom sweep: workload builder name")
-    p.add_argument("--name", help="custom sweep: spec name (default: cli-APP)")
-    p.add_argument("--n", type=int, default=None, help="workload size")
-    p.add_argument(
-        "--nranks",
-        type=int,
-        action="append",
-        default=None,
-        help="rank-count axis value (repeatable)",
-    )
-    p.add_argument("--steps", type=int, default=None)
-    p.add_argument("--stages", type=int, default=None)
-    p.add_argument(
-        "-K",
-        "--tile-size",
-        type=_tile_size,
-        action="append",
-        default=None,
-        help="tile-size axis value (repeatable; default auto)",
-    )
-    p.add_argument(
-        "--variant",
-        action="append",
-        choices=list_variants(),
-        default=None,
-        help="variant axis value (repeatable; default original+prepush; "
-        "see 'compuniformer variants')",
-    )
-    p.add_argument(
-        "--interchange",
-        action="append",
-        choices=["auto", "never"],
-        default=None,
-        help="interchange axis value (repeatable; default auto)",
-    )
-    p.add_argument(
-        "--network",
-        action="append",
-        choices=list_models(),
-        default=None,
-        help="network axis value (repeatable; default gmnet)",
-    )
-    p.add_argument(
-        "--collective",
-        action="append",
-        metavar="SPEC",
-        default=None,
-        help="collective axis value (repeatable; default registry defaults)",
-    )
-    p.add_argument(
-        "--cpu-scale",
-        type=float,
-        action="append",
-        default=None,
-        help="cost-model scale axis value (repeatable; default 1.0)",
-    )
-    p.add_argument(
-        "--no-verify",
-        action="store_true",
-        help="skip the §4 equivalence check of transformed pairs",
-    )
+    _add_spec_axis_args(p)
     p.add_argument(
         "--jobs",
         type=int,
@@ -404,6 +427,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="write a JSON artifact (tables + stats + measurements)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="start the async sweep service over a shared result cache "
+        "(DESIGN.md §11)",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = ephemeral, printed at startup)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".compuniformer-cache",
+        help="shared content-addressed result cache directory "
+        "(default: .compuniformer-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a persistent cache (in-process dedup only)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard simulations over this many worker processes",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="admission-control budget: reject sweeps that would push "
+        "the pending-point count past this (default: 4096)",
+    )
+    _add_engine_mode_arg(p)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running 'compuniformer serve' instance",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="server host (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, required=True, help="server port"
+    )
+    _add_spec_axis_args(p)
+    p.add_argument(
+        "--status",
+        action="store_true",
+        help="print the server's status JSON and exit (no sweep)",
+    )
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to drain and stop, then exit (no sweep)",
+    )
+    p.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress streamed per-point progress on stderr",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the result JSON (runs + stats) to FILE",
+    )
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed result cache",
+    )
+    p.add_argument(
+        "action",
+        choices=["info", "prune"],
+        help="'info' reports entry/byte/version totals; 'prune' deletes "
+        "entries recorded under a stale engine or symmetry version",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".compuniformer-cache",
+        help="cache directory (default: .compuniformer-cache)",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="prune: report what would be removed without deleting",
     )
     return parser
 
@@ -610,6 +732,15 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _sweep_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "submit":
+        return _submit_command(args)
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     raise ReproError(f"unhandled command {args.command!r}")
 
@@ -869,6 +1000,183 @@ def _sweep_command(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True)
         print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve.server import SweepServer
+
+    async def _run() -> None:
+        server = SweepServer(
+            host=args.host,
+            port=args.port,
+            max_pending_points=args.max_pending,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            jobs=args.jobs,
+            engine_mode=args.engine_mode,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _stop() -> None:
+            asyncio.ensure_future(server.shutdown(drain=True))
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # event loops without signal support (e.g. Windows)
+        # the port line goes to stdout so scripts can scrape the
+        # ephemeral port; everything else is stderr chatter
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        print(
+            f"cache={'off' if args.no_cache else args.cache_dir} "
+            f"jobs={args.jobs or 1} max_pending={args.max_pending} "
+            f"engine_mode={args.engine_mode} — Ctrl-C drains and stops",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.wait_closed()
+
+    asyncio.run(_run())
+    return 0
+
+
+def _result_table(result: dict) -> "Table":
+    """Render a serve sweep result (JSON, not ``SweepResult``) as the
+    same table :func:`_generic_sweep_table` prints for local sweeps."""
+    from .harness.report import Table
+
+    names = [s.get("name", "?") for s in result.get("specs", [])]
+    table = Table(
+        title=f"Sweep — {', '.join(names)}",
+        columns=[
+            "spec",
+            "app",
+            "variant",
+            "NP",
+            "K",
+            "network",
+            "collective",
+            "cpu_scale",
+            "time_s",
+            "comm_s",
+            "messages",
+            "cached",
+        ],
+    )
+    for run in result["runs"]:
+        axes = run["axes"]
+        m = run["measurement"]
+        table.add(
+            axes["spec"],
+            axes["app"],
+            axes["variant"],
+            axes["nranks"],
+            str(axes["tile_size"]),
+            axes["network"],
+            axes["collective"],
+            axes["cpu_scale"],
+            m["time"],
+            m["wait_time"] + m["mpi_overhead"],
+            m["messages"],
+            "yes" if run["cached"] else "no",
+        )
+    return table
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    from .serve.client import ServeClient
+
+    try:
+        client = ServeClient(args.host, args.port)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot connect to {args.host}:{args.port} — is "
+            f"'compuniformer serve' running there? ({exc})"
+        ) from None
+    with client:
+        if args.status:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown(drain=True)
+            print("server draining and stopping", file=sys.stderr)
+            return 0
+        if args.spec and args.app:
+            raise ReproError("--spec and --app are mutually exclusive")
+        if not (args.spec or args.app):
+            raise ReproError(
+                "submit needs a sweep: --spec FILE or --app NAME "
+                "(or --status / --shutdown)"
+            )
+        specs = (
+            _load_spec_file(args.spec) if args.spec else [_custom_spec(args)]
+        )
+
+        def _progress(event: dict) -> None:
+            if event.get("event") != "point":
+                return
+            axes = event.get("axes", {})
+            print(
+                f"[{event['seq']}/{event['total']}] "
+                f"{axes.get('app')}/{axes.get('variant')} "
+                f"NP={axes.get('nranks')} {axes.get('network')} "
+                f"{event['source']} {event['time']:.6g}s",
+                file=sys.stderr,
+            )
+
+        result = client.sweep(
+            [s.to_dict() for s in specs],
+            on_event=None if args.quiet else _progress,
+        )
+    print(_result_table(result).render())
+    print(
+        "serve: {points} points, {simulated} simulated, "
+        "{cache_hits} cache hits, {peer_served} peer-served, "
+        "{coalesced} coalesced".format(**result["stats"]),
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    from .harness.sweep import SweepCache
+
+    cache = SweepCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root:       {info['root']}")
+        print(f"entries:          {info['entries']} ({info['bytes']} bytes)")
+        for kind, count in info["kinds"].items():
+            print(f"  kind {kind:<12s} {count}")
+        for label, count in info["versions"].items():
+            print(f"  {label:<30s} {count}")
+        print(f"current version:  {info['current_version']}")
+        print(
+            f"stale entries:    {info['stale_entries']} "
+            f"({info['stale_bytes']} bytes; 'prune' deletes these)"
+        )
+        print(f"in-flight claims: {info['inflight_claims']}")
+        return 0
+    report = cache.prune(dry_run=args.dry_run)
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(
+        f"{verb} {report['removed']} stale entries "
+        f"({report['freed_bytes']} bytes), kept {report['kept']}"
+    )
+    if report["stale_claims_removed"]:
+        print(
+            f"{verb} {report['stale_claims_removed']} stale "
+            "in-flight claims"
+        )
     return 0
 
 

@@ -86,3 +86,22 @@ class EngineModeError(SimulationError):
 
 class VerificationError(ReproError):
     """Raised when original and transformed programs disagree."""
+
+
+class ServeError(ReproError):
+    """Base class for the :mod:`repro.serve` job service: anything that
+    turns into a structured ``error`` event on the wire (and back into
+    an exception client-side) derives from this."""
+
+
+class RequestError(ServeError):
+    """A malformed or invalid service request: undecodable JSON, an
+    unknown request type, a spec that fails validation, or a request
+    sent to a server that is draining for shutdown."""
+
+
+class OverloadError(ServeError):
+    """The server refused a request for capacity reasons: admitting the
+    expanded sweep would exceed the configured pending-point budget
+    (DESIGN.md §11 backpressure — admission control at expansion time,
+    so a queue can never grow without bound)."""

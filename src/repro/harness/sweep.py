@@ -34,12 +34,15 @@ import json
 import hashlib
 import os
 import tempfile
+import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
     Dict,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -47,6 +50,11 @@ from typing import (
     Tuple,
     Union,
 )
+
+try:  # POSIX advisory locks; Windows degrades to O_EXCL-only claims
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..apps import build_app
 from ..errors import ReproError
@@ -57,6 +65,7 @@ from ..runtime.collectives import (
     CollectiveSpec,
     resolve_suite,
 )
+from ..interp.symmetry import SYMMETRY_VERSION
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.network import IDEAL, NetworkModel, resolve_model
 from ..runtime.simulator import ENGINE_VERSION
@@ -76,6 +85,7 @@ __all__ = [
     "SweepPoint",
     "SweepCache",
     "CacheStats",
+    "CLAIM_STALE_AFTER",
     "SweepRun",
     "SweepStats",
     "SweepResult",
@@ -317,6 +327,13 @@ class CacheStats:
         )
 
 
+#: seconds after which an in-flight claim marker left behind by a
+#: crashed writer counts as abandoned and may be broken by another
+#: process (generous: the longest single simulation in the repo — a
+#: 1024-rank replay — finishes well under this)
+CLAIM_STALE_AFTER = 900.0
+
+
 class SweepCache:
     """Content-addressed on-disk store of sweep results.
 
@@ -328,6 +345,20 @@ class SweepCache:
     later run would trust.  A corrupted or stale entry reads as a miss
     (counted in :attr:`CacheStats.corrupt`) and is overwritten by the
     re-simulation.
+
+    **Multi-writer protocol** (DESIGN.md §11): concurrent processes
+    sharing one cache directory coordinate through per-entry *in-flight
+    claim markers*.  :meth:`claim` atomically (``O_CREAT|O_EXCL``)
+    creates ``<key>.inflight`` next to the entry; the winner simulates
+    and :meth:`put` (which removes the marker), losers :meth:`wait_for`
+    the entry to land instead of duplicating the simulation.  Claim
+    decisions are serialized under a per-entry advisory ``flock``
+    (:meth:`lock`) so breaking a stale marker — one left by a crashed
+    writer, older than :data:`CLAIM_STALE_AFTER` — cannot race a live
+    claim.  The protocol is *advisory*: a writer that skips it and
+    simulates anyway stays correct (entries are deterministic and
+    writes atomic), it just wastes the duplicate work the markers
+    exist to avoid.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -358,10 +389,13 @@ class SweepCache:
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically store ``payload`` (annotated with its key)."""
+        """Atomically store ``payload`` (annotated with its key) and
+        release any in-flight claim this writer held on it."""
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = dict(payload, key=key, engine=ENGINE_VERSION)
+        payload = dict(
+            payload, key=key, engine=ENGINE_VERSION, symmetry=SYMMETRY_VERSION
+        )
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -376,6 +410,235 @@ class SweepCache:
                 pass
             raise
         self.stats.stores += 1
+        self.release(key)
+
+    # ------------------------------------------- multi-writer protocol
+
+    def claim_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.inflight"
+
+    @contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Per-entry advisory lock serializing claim/break decisions.
+
+        Held only around marker bookkeeping (microseconds), never around
+        a simulation.  Without :mod:`fcntl` (non-POSIX) this degrades to
+        a no-op and :meth:`claim` relies on ``O_CREAT|O_EXCL`` alone,
+        which still guarantees a single winner per marker — only the
+        stale-marker *break* loses its race protection.
+        """
+        lock_file = self.root / key[:2] / f"{key}.lock"
+        lock_file.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_file, os.O_CREAT | os.O_RDWR)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _claim_stale(self, marker: Path) -> bool:
+        """True when ``marker`` was abandoned: its writer recorded a
+        timestamp more than :data:`CLAIM_STALE_AFTER` seconds ago (or
+        the marker is unreadable).  A vanished marker is *not* stale —
+        it means the entry just landed."""
+        try:
+            with open(marker, "r", encoding="utf-8") as fh:
+                info = json.load(fh)
+            claimed_at = float(info["time"])
+        except FileNotFoundError:
+            return False
+        except (OSError, ValueError, TypeError, KeyError):
+            return True  # unreadable marker: treat as abandoned
+        return (time.time() - claimed_at) > CLAIM_STALE_AFTER
+
+    def claim(self, key: str) -> bool:
+        """Atomically claim the right to simulate ``key``.
+
+        ``True``: this process owns the in-flight marker and must either
+        :meth:`put` the entry (which releases it) or :meth:`release` on
+        failure.  ``False``: the entry already exists, or another live
+        writer holds the claim — :meth:`wait_for` the result instead.
+        """
+        with self.lock(key):
+            if self.path(key).exists():
+                return False
+            marker = self.claim_path(key)
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._claim_stale(marker):
+                    return False
+                # abandoned by a crashed writer: break it and re-claim
+                # (safe under the entry lock)
+                try:
+                    os.unlink(marker)
+                except FileNotFoundError:
+                    pass
+                try:
+                    fd = os.open(
+                        marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                    )
+                except FileExistsError:
+                    return False
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({"pid": os.getpid(), "time": time.time()}, fh)
+            return True
+
+    def release(self, key: str) -> None:
+        """Drop the in-flight claim on ``key`` (idempotent)."""
+        try:
+            os.unlink(self.claim_path(key))
+        except OSError:
+            pass
+
+    def claim_live(self, key: str) -> bool:
+        """True while some live writer holds the in-flight claim on
+        ``key`` (marker present and not stale) — i.e. waiting for the
+        entry is still worthwhile."""
+        marker = self.claim_path(key)
+        return marker.exists() and not self._claim_stale(marker)
+
+    def wait_for(
+        self,
+        key: str,
+        *,
+        timeout: float = CLAIM_STALE_AFTER,
+        poll: float = 0.05,
+    ) -> Optional[Dict[str, Any]]:
+        """Block until another writer's entry for ``key`` lands.
+
+        Returns the payload, or ``None`` when the claim vanished or went
+        stale without producing an entry (the caller should
+        :meth:`claim` and simulate itself) or ``timeout`` elapsed.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.get(key)
+            if payload is not None:
+                return payload
+            if not self.claim_live(key):
+                # one final read: the writer may have put + released
+                # between our get() and the marker check
+                return self.get(key)
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll)
+
+    # ------------------------------------------------- introspection
+
+    def entries(self) -> Iterator[Tuple[Path, Optional[Dict[str, Any]]]]:
+        """Every on-disk entry as ``(path, payload)``, payload ``None``
+        for undecodable files (deterministic order)."""
+        if not self.root.is_dir():
+            return
+        for fanout in sorted(self.root.iterdir()):
+            if not fanout.is_dir():
+                continue
+            for path in sorted(fanout.glob("*.json")):
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        payload = json.load(fh)
+                    if not isinstance(payload, dict):
+                        payload = None
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    payload = None
+                yield path, payload
+
+    @staticmethod
+    def _version_label(payload: Optional[Dict[str, Any]]) -> str:
+        if payload is None:
+            return "corrupt"
+        engine = payload.get("engine", "?")
+        symmetry = payload.get("symmetry", "?")
+        return f"engine={engine}/symmetry={symmetry}"
+
+    def _entry_stale(self, payload: Optional[Dict[str, Any]]) -> bool:
+        """A prunable entry: corrupt, or written under a different
+        engine version — or, for measurements (whose fingerprints fold
+        the symmetry-recorder version), a different/unrecorded symmetry
+        version.  Verify verdicts are keyed by engine version only."""
+        if payload is None:
+            return True
+        if payload.get("engine") != ENGINE_VERSION:
+            return True
+        if payload.get("kind") == "measurement":
+            return payload.get("symmetry") != SYMMETRY_VERSION
+        return False
+
+    def info(self) -> Dict[str, Any]:
+        """Inventory: entry/kind counts, on-disk bytes, per-version
+        breakdown, live in-flight claims, and how much ``prune`` would
+        delete."""
+        kinds: Dict[str, int] = {}
+        versions: Dict[str, int] = {}
+        total = stale = 0
+        size = stale_size = 0
+        for path, payload in self.entries():
+            total += 1
+            nbytes = path.stat().st_size
+            size += nbytes
+            kind = payload.get("kind", "corrupt") if payload else "corrupt"
+            kinds[kind] = kinds.get(kind, 0) + 1
+            label = self._version_label(payload)
+            versions[label] = versions.get(label, 0) + 1
+            if self._entry_stale(payload):
+                stale += 1
+                stale_size += nbytes
+        claims = (
+            sorted(self.root.glob("*/*.inflight")) if self.root.is_dir() else []
+        )
+        return {
+            "root": str(self.root),
+            "entries": total,
+            "bytes": size,
+            "kinds": dict(sorted(kinds.items())),
+            "versions": dict(sorted(versions.items())),
+            "current_version": (
+                f"engine={ENGINE_VERSION}/symmetry={SYMMETRY_VERSION}"
+            ),
+            "stale_entries": stale,
+            "stale_bytes": stale_size,
+            "inflight_claims": len(claims),
+        }
+
+    def prune(self, *, dry_run: bool = False) -> Dict[str, Any]:
+        """Delete stale-version (and corrupt) entries plus abandoned
+        in-flight markers; ``dry_run`` only reports what would go."""
+        removed = kept = freed = 0
+        for path, payload in self.entries():
+            if self._entry_stale(payload):
+                removed += 1
+                freed += path.stat().st_size
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            else:
+                kept += 1
+        stale_claims = 0
+        if self.root.is_dir():
+            for marker in sorted(self.root.glob("*/*.inflight")):
+                if self._claim_stale(marker):
+                    stale_claims += 1
+                    if not dry_run:
+                        try:
+                            os.unlink(marker)
+                        except OSError:
+                            pass
+        return {
+            "removed": removed,
+            "kept": kept,
+            "freed_bytes": freed,
+            "stale_claims_removed": stale_claims,
+            "dry_run": dry_run,
+        }
 
 
 def _as_cache(

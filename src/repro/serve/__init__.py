@@ -1,0 +1,35 @@
+"""``repro.serve`` — the async sweep service (DESIGN.md §11).
+
+An asyncio job-queue server over the :class:`~repro.api.Session` façade
+and the shared content-addressed :class:`~repro.harness.sweep.SweepCache`:
+queues, shards, deduplicates, and streams sweep work for many concurrent
+clients.  Start one with ``compuniformer serve``, talk to it with
+``compuniformer submit`` or the clients here::
+
+    from repro.serve import ServeClient, ThreadedServer
+
+    with ThreadedServer(cache_dir=".cache", jobs=4) as ts:
+        with ServeClient(port=ts.port) as client:
+            result = client.sweep(spec)
+
+See :mod:`repro.serve.protocol` for the wire format,
+:mod:`repro.serve.server` for coalescing/backpressure/drain semantics,
+and :mod:`repro.serve.client` for the sync/async clients.
+"""
+
+from ..errors import OverloadError, RequestError, ServeError  # noqa: F401
+from .client import AsyncServeClient, ServeClient  # noqa: F401
+from .protocol import PROTOCOL_VERSION  # noqa: F401
+from .server import ServeStats, SweepServer, ThreadedServer  # noqa: F401
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "AsyncServeClient",
+    "SweepServer",
+    "ThreadedServer",
+    "ServeStats",
+    "ServeError",
+    "RequestError",
+    "OverloadError",
+]

@@ -1,0 +1,273 @@
+"""Clients for the sweep service — sync and async.
+
+:class:`ServeClient` speaks the line-delimited JSON protocol
+(:mod:`repro.serve.protocol`) over a plain blocking socket: one
+connection, one outstanding request at a time (the server's per-
+connection ordering guarantee makes anything fancier pointless — open
+more clients for concurrency).  :class:`AsyncServeClient` is the same
+surface on asyncio streams for callers already inside an event loop.
+
+Both raise the server's structured errors as the matching local
+exception types (:class:`~repro.errors.RequestError`,
+:class:`~repro.errors.OverloadError`, :class:`~repro.errors.ServeError`)
+and surface streamed progress through an optional ``on_event`` callback::
+
+    with ServeClient(port=port) as client:
+        result = client.sweep(spec, on_event=lambda e: print(e["event"]))
+        warm = client.sweep(spec)           # zero simulations server-side
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from ..errors import ServeError
+from ..harness.sweep import SweepSpec
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    encode_message,
+    exception_from_event,
+)
+
+__all__ = ["ServeClient", "AsyncServeClient"]
+
+OnEvent = Optional[Callable[[Dict[str, Any]], None]]
+
+_ids = itertools.count(1)
+
+
+def _request_payload(
+    rtype: str, request_id: str, body: Mapping[str, Any]
+) -> Dict[str, Any]:
+    message = {"type": rtype, "id": request_id, "protocol": PROTOCOL_VERSION}
+    message.update(body)
+    return message
+
+
+def _spec_body(spec: Union[SweepSpec, Mapping[str, Any]]) -> Dict[str, Any]:
+    if isinstance(spec, SweepSpec):
+        return {"spec": spec.to_dict()}
+    if isinstance(spec, Mapping):
+        return {"spec": dict(spec)}
+    if isinstance(spec, (list, tuple)):
+        return {
+            "specs": [
+                s.to_dict() if isinstance(s, SweepSpec) else dict(s)
+                for s in spec
+            ]
+        }
+    raise TypeError(
+        f"spec must be a SweepSpec, a to_dict() mapping, or a list of "
+        f"them, got {type(spec).__name__}"
+    )
+
+
+class _EventPump:
+    """Shared request/response logic: feed events until the terminal
+    one, dispatching progress to ``on_event``."""
+
+    @staticmethod
+    def finish(message: Dict[str, Any], on_event: OnEvent) -> Optional[Dict]:
+        """Returns the result payload on the terminal event, ``None``
+        to keep reading; raises the mapped exception on ``error``."""
+        kind = message.get("event")
+        if kind == "error":
+            raise exception_from_event(message)
+        if on_event is not None and kind not in ("result",):
+            on_event(message)
+        if kind == "result":
+            return message
+        return None
+
+
+class ServeClient:
+    """Blocking client over one socket connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------ verbs
+
+    def sweep(
+        self,
+        spec: Union[SweepSpec, Mapping[str, Any], list, tuple],
+        *,
+        on_event: OnEvent = None,
+    ) -> Dict[str, Any]:
+        """Submit sweep spec(s); returns the
+        :meth:`~repro.harness.sweep.SweepResult.to_json`-shaped result."""
+        return self._request("sweep", _spec_body(spec), on_event)["result"]
+
+    submit = sweep  # the CLI verb's name
+
+    def compare(self, app: str, **body: Any) -> Dict[str, Any]:
+        return self._request("compare", dict(body, app=app), None)["result"]
+
+    def verify(self, program: str, **body: Any) -> Dict[str, Any]:
+        return self._request("verify", dict(body, program=program), None)[
+            "result"
+        ]
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("status", {}, None)["result"]
+
+    def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
+        """Ask the server to stop (drain by default); closes this
+        client's connection afterwards (the server hangs up)."""
+        try:
+            return self._request("shutdown", {"drain": drain}, None)["result"]
+        finally:
+            self.close()
+
+    # ------------------------------------------------------- transport
+
+    def _request(
+        self, rtype: str, body: Mapping[str, Any], on_event: OnEvent
+    ) -> Dict[str, Any]:
+        request_id = f"c{next(_ids)}"
+        self._sock.sendall(
+            encode_message(_request_payload(rtype, request_id, body))
+        )
+        while True:
+            line = self._reader.readline(MAX_MESSAGE_BYTES)
+            if not line:
+                raise ServeError(
+                    "server closed the connection before the terminal "
+                    "event (crashed or shut down without drain?)"
+                )
+            message = _decode_event(line)
+            if message.get("id") not in ("", request_id):
+                continue  # stale event from an aborted earlier request
+            terminal = _EventPump.finish(message, on_event)
+            if terminal is not None:
+                return terminal
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """The same verb surface on asyncio streams.
+
+    Build with :meth:`connect`::
+
+        client = await AsyncServeClient.connect(port=port)
+        result = await client.sweep(spec)
+        await client.close()
+    """
+
+    def __init__(self, reader, writer, host: str, port: int) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.host = host
+        self.port = port
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncServeClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_MESSAGE_BYTES
+        )
+        return cls(reader, writer, host, port)
+
+    async def sweep(
+        self,
+        spec: Union[SweepSpec, Mapping[str, Any], list, tuple],
+        *,
+        on_event: OnEvent = None,
+    ) -> Dict[str, Any]:
+        response = await self._request("sweep", _spec_body(spec), on_event)
+        return response["result"]
+
+    submit = sweep
+
+    async def compare(self, app: str, **body: Any) -> Dict[str, Any]:
+        response = await self._request("compare", dict(body, app=app), None)
+        return response["result"]
+
+    async def verify(self, program: str, **body: Any) -> Dict[str, Any]:
+        response = await self._request(
+            "verify", dict(body, program=program), None
+        )
+        return response["result"]
+
+    async def status(self) -> Dict[str, Any]:
+        return (await self._request("status", {}, None))["result"]
+
+    async def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
+        try:
+            response = await self._request(
+                "shutdown", {"drain": drain}, None
+            )
+            return response["result"]
+        finally:
+            await self.close()
+
+    async def _request(
+        self, rtype: str, body: Mapping[str, Any], on_event: OnEvent
+    ) -> Dict[str, Any]:
+        request_id = f"c{next(_ids)}"
+        self._writer.write(
+            encode_message(_request_payload(rtype, request_id, body))
+        )
+        await self._writer.drain()
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ServeError(
+                    "server closed the connection before the terminal "
+                    "event (crashed or shut down without drain?)"
+                )
+            message = _decode_event(line)
+            if message.get("id") not in ("", request_id):
+                continue
+            terminal = _EventPump.finish(message, on_event)
+            if terminal is not None:
+                return terminal
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _decode_event(line: bytes) -> Dict[str, Any]:
+    import json
+
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServeError(f"undecodable server event: {exc}") from None
+    if not isinstance(message, dict) or "event" not in message:
+        raise ServeError(f"malformed server event: {line[:200]!r}")
+    return message

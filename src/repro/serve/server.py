@@ -1,0 +1,966 @@
+"""The asyncio sweep service (DESIGN.md §11).
+
+:class:`SweepServer` puts a job server in front of the
+:class:`~repro.api.Session` façade so the reproduction behaves as shared
+infrastructure rather than a per-process convenience: many concurrent
+clients submit sweep/compare/verify requests as JSON
+(:mod:`repro.serve.protocol`), the server expands and fingerprints their
+points, **coalesces** concurrent identical work so each fingerprint is
+simulated at most once cluster-wide, shards the live simulations across
+the session's persistent process pool, and streams per-point progress
+events back to each subscriber.
+
+Deduplication happens at three layers, cheapest first:
+
+1. the content-addressed :class:`~repro.harness.sweep.SweepCache` —
+   previously simulated fingerprints are served without any work;
+2. an in-process map of in-flight fingerprints to futures — a request
+   arriving while an identical point simulates *subscribes* to the
+   running simulation instead of starting its own;
+3. the cache's cross-process claim markers
+   (:meth:`~repro.harness.sweep.SweepCache.claim`) — a second *server*
+   sharing the cache directory waits for the claiming peer's entry to
+   land instead of duplicating the simulation.
+
+Backpressure is admission control at expansion time: a sweep whose
+expanded point count would push the server past ``max_pending_points``
+is refused with a structured :class:`~repro.errors.OverloadError`
+before any simulation starts, so the queue can never grow without
+bound.  :meth:`SweepServer.shutdown` with ``drain=True`` stops
+accepting work, lets every in-flight request finish and stream its
+terminal event, then releases the executor and (when the server created
+it) the session.
+
+:class:`ThreadedServer` runs the whole service on a background thread
+with its own event loop — how the benchmarks, the tests, and any
+synchronous embedder host a server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api.context import UNSET, CompareRequest, VerifyRequest
+from ..api.session import Session
+from ..apps import build_app
+from ..errors import OverloadError, ReproError, RequestError
+from ..harness.runner import Measurement, measurement_from_run
+from ..harness.sweep import (
+    CLAIM_STALE_AFTER,
+    SweepCache,
+    SweepPoint,
+    SweepSpec,
+    _Verification,
+    expand_spec,
+)
+from ..interp.runner import ClusterJob, execute_job, job_fingerprint
+from ..runtime.simulator import ENGINE_VERSION
+from .protocol import (
+    PROTOCOL_VERSION,
+    MAX_MESSAGE_BYTES,
+    ServeRequest,
+    decode_message,
+    encode_message,
+    error_event,
+    event,
+    parse_request,
+)
+
+__all__ = ["ServeStats", "SweepServer", "ThreadedServer"]
+
+
+@dataclasses.dataclass
+class ServeStats:
+    """Lifetime accounting of one server (the ``status`` verb payload).
+
+    ``dedup_ratio`` — measurement simulations actually run divided by
+    sweep points requested — is the service's headline number: 1.0
+    means every requested point cost a simulation; anything below means
+    the cache, the in-flight coalescing, or a peer's claim absorbed the
+    difference.
+    """
+
+    requests: int = 0
+    sweeps: int = 0
+    compares: int = 0
+    verifies: int = 0
+    errors: int = 0
+    rejected: int = 0
+    points_requested: int = 0
+    simulations: int = 0
+    verify_simulations: int = 0
+    cache_hits: int = 0
+    peer_served: int = 0
+    coalesced: int = 0
+    verify_checks: int = 0
+    verify_hits: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        if not self.points_requested:
+            return 1.0
+        return self.simulations / self.points_requested
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["dedup_ratio"] = self.dedup_ratio
+        return data
+
+
+class SweepServer:
+    """An asyncio job-queue server over one :class:`~repro.api.Session`.
+
+    ``session=None`` builds a private session from the remaining
+    keywords (``cache_dir``/``jobs``/``engine_mode`` and friends are
+    forwarded to :class:`~repro.api.ExecutionContext`) and closes it on
+    shutdown; a caller-supplied session is shared and left open.
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).
+
+    One connection handles its requests strictly in order (the
+    protocol's framing guarantee); concurrency comes from concurrent
+    connections, whose simulations all flow through one executor and
+    one in-flight fingerprint map.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending_points: int = 4096,
+        peer_wait_timeout: float = CLAIM_STALE_AFTER,
+        peer_poll: float = 0.05,
+        executor_workers: Optional[int] = None,
+        **session_kwargs: Any,
+    ) -> None:
+        if session is not None and session_kwargs:
+            raise ReproError(
+                f"session and session keywords "
+                f"{sorted(session_kwargs)} are mutually exclusive"
+            )
+        self._owns_session = session is None
+        self.session = session or Session(**session_kwargs)
+        self.host = host
+        self.port = port
+        self.max_pending_points = max_pending_points
+        self.peer_wait_timeout = peer_wait_timeout
+        self.peer_poll = peer_poll
+        self.executor_workers = executor_workers
+        self.stats = ServeStats()
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread_executor = None
+        #: fingerprint -> future of (base Measurement, source) for every
+        #: measurement simulation currently in flight (layer 2 dedup)
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: verification key -> future (same shape, verify verdicts)
+        self._inflight_verify: Dict[str, "asyncio.Future"] = {}
+        self._conn_tasks: set = set()
+        self._active_requests = 0
+        self._pending_points = 0
+        self._draining = False
+        self._idle: Optional[asyncio.Event] = None
+        self._closed: Optional[asyncio.Event] = None
+
+    # -------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_MESSAGE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` completes."""
+        if self._server is None:
+            await self.start()
+        await self._closed.wait()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def shutdown(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop the server (idempotent).
+
+        The §11 drain contract: stop accepting connections, refuse new
+        requests on existing connections (structured
+        :class:`~repro.errors.RequestError`), wait until every admitted
+        request has streamed its terminal event (bounded by
+        ``timeout``), then close connections and release the executor
+        and owned session.  ``drain=False`` cancels in-flight work
+        instead of waiting.
+        """
+        if self._draining and self._closed is not None:
+            await self._closed.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._idle is not None:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._thread_executor is not None:
+            self._thread_executor.shutdown(wait=True)
+            self._thread_executor = None
+        if self._owns_session:
+            self.session.close()
+        if self._closed is not None:
+            self._closed.set()
+
+    # -------------------------------------------------------- executors
+
+    def _executor_for(self, job: ClusterJob):
+        """Where one simulation runs: the session's shared persistent
+        process pool when it has one and the job can cross a process
+        boundary, otherwise a lazily-created thread pool (correct
+        either way; the thread pool trades parallelism for
+        availability in sandboxes without multiprocessing)."""
+        if job.externals is None:
+            pool = self.session.pool()
+            if pool is not None:
+                return pool
+        if self._thread_executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._thread_executor = ThreadPoolExecutor(
+                max_workers=self.executor_workers or 4,
+                thread_name_prefix="repro-serve",
+            )
+        return self._thread_executor
+
+    async def _run_job(self, job: ClusterJob):
+        return await self._loop.run_in_executor(
+            self._executor_for(job), execute_job, job
+        )
+
+    # ------------------------------------------------------ connections
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        send_lock = asyncio.Lock()
+
+        async def send(message: Mapping[str, Any]) -> None:
+            async with send_lock:
+                writer.write(encode_message(message))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                stop = await self._serve_one(line, send)
+                if stop:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError, OSError):
+                pass
+
+    async def _serve_one(self, line: bytes, send) -> bool:
+        """Handle one request line; True stops the connection loop."""
+        self.stats.requests += 1
+        try:
+            request = parse_request(decode_message(line))
+        except RequestError as exc:
+            self.stats.errors += 1
+            await send(error_event("", exc))
+            return False
+        if self._draining and request.type not in ("status",):
+            self.stats.errors += 1
+            await send(
+                error_event(
+                    request.id,
+                    RequestError(
+                        "server is draining for shutdown and not "
+                        "accepting new work"
+                    ),
+                )
+            )
+            return False
+        self._active_requests += 1
+        self._idle.clear()
+        try:
+            if request.type == "sweep":
+                await self._handle_sweep(request, send)
+            elif request.type == "compare":
+                await self._handle_compare(request, send)
+            elif request.type == "verify":
+                await self._handle_verify(request, send)
+            elif request.type == "status":
+                await self._handle_status(request, send)
+            elif request.type == "shutdown":
+                await self._handle_shutdown(request, send)
+                return True
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            self.stats.errors += 1
+            if isinstance(exc, OverloadError):
+                self.stats.rejected += 1
+            try:
+                await send(error_event(request.id, exc))
+            except (ConnectionError, OSError):
+                return True
+        finally:
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle.set()
+        return False
+
+    # ----------------------------------------------------------- verbs
+
+    @staticmethod
+    def _reject_unknown(body: Mapping[str, Any], known: Tuple[str, ...]):
+        unknown = sorted(set(body) - set(known))
+        if unknown:
+            raise RequestError(
+                f"unknown request keys {unknown}; accepted: {sorted(known)}"
+            )
+
+    def _parse_specs(self, body: Mapping[str, Any]) -> List[SweepSpec]:
+        self._reject_unknown(body, ("spec", "specs"))
+        if ("spec" in body) == ("specs" in body):
+            raise RequestError(
+                "a sweep request carries exactly one of 'spec' "
+                "(one object) or 'specs' (a non-empty list)"
+            )
+        raw = body.get("specs", [body.get("spec")])
+        if not isinstance(raw, list) or not raw:
+            raise RequestError("'specs' must be a non-empty list")
+        specs = []
+        for item in raw:
+            if not isinstance(item, dict):
+                raise RequestError(
+                    f"each spec must be a JSON object "
+                    f"(got {type(item).__name__})"
+                )
+            try:
+                spec = SweepSpec.from_dict(item)
+            except ReproError as exc:
+                raise RequestError(f"invalid sweep spec: {exc}") from None
+            except (TypeError, ValueError) as exc:
+                raise RequestError(f"invalid sweep spec: {exc}") from None
+            if spec.engine_mode is None:
+                spec = dataclasses.replace(
+                    spec, engine_mode=self.session.engine_mode
+                )
+            specs.append(spec)
+        return specs
+
+    async def _handle_sweep(self, request: ServeRequest, send) -> None:
+        self.stats.sweeps += 1
+        specs = self._parse_specs(request.body)
+        try:
+            points, verifications = await asyncio.to_thread(
+                self._expand, specs
+            )
+        except ReproError as exc:
+            raise RequestError(f"sweep expansion failed: {exc}") from None
+
+        # admission control (§11 backpressure): refuse before simulating
+        if self._pending_points + len(points) > self.max_pending_points:
+            raise OverloadError(
+                f"sweep expands to {len(points)} points but the server "
+                f"already has {self._pending_points} pending of a "
+                f"{self.max_pending_points}-point budget; retry later "
+                f"or split the spec"
+            )
+        self._pending_points += len(points)
+        self.stats.points_requested += len(points)
+        self.stats.verify_checks += len(verifications)
+        try:
+            await send(
+                event(
+                    "accepted",
+                    request.id,
+                    points=len(points),
+                    verifications=len(verifications),
+                )
+            )
+            req_stats = {
+                "points": len(points),
+                "simulated": 0,
+                "cache_hits": 0,
+                "peer_served": 0,
+                "coalesced": 0,
+                "verify_checks": len(verifications),
+                "verify_hits": 0,
+                "verify_simulated": 0,
+            }
+            results: List[Optional[Tuple[Measurement, str, bool]]] = [
+                None
+            ] * len(points)
+            done = 0
+            done_lock = asyncio.Lock()
+
+            source_keys = {
+                "simulated": "simulated",
+                "cache": "cache_hits",
+                "peer": "peer_served",
+                "coalesced": "coalesced",
+            }
+
+            async def one_point(index: int, point: SweepPoint) -> None:
+                nonlocal done
+                measurement, source, cached = await self._obtain_point(point)
+                results[index] = (measurement, source, cached)
+                req_stats[source_keys[source]] += 1
+                async with done_lock:
+                    done += 1
+                    seq = done
+                await send(
+                    event(
+                        "point",
+                        request.id,
+                        seq=seq,
+                        total=len(points),
+                        index=index,
+                        axes=point.axes,
+                        source=source,
+                        time=measurement.time,
+                    )
+                )
+
+            async def one_verify(ver: _Verification) -> None:
+                outcome = await self._obtain_verify(ver)
+                if outcome == "cache":
+                    req_stats["verify_hits"] += 1
+                    self.stats.verify_hits += 1
+                elif outcome == "simulated":
+                    req_stats["verify_simulated"] += 2
+
+            await asyncio.gather(
+                *(one_verify(v) for v in verifications),
+                *(one_point(i, p) for i, p in enumerate(points)),
+            )
+        finally:
+            self._pending_points -= len(points)
+
+        runs = []
+        for point, outcome in zip(points, results):
+            measurement, _source, cached = outcome
+            runs.append(
+                {
+                    "axes": point.axes,
+                    "cached": cached,
+                    "fingerprint": point.fingerprint,
+                    "measurement": measurement.to_dict(),
+                }
+            )
+        await send(
+            event(
+                "result",
+                request.id,
+                result={
+                    "engine": ENGINE_VERSION,
+                    "specs": [s.to_dict() for s in specs],
+                    "stats": req_stats,
+                    "runs": runs,
+                },
+            )
+        )
+
+    def _expand(
+        self, specs: List[SweepSpec]
+    ) -> Tuple[List[SweepPoint], List[_Verification]]:
+        """Expand + fingerprint every point (runs on a worker thread:
+        expansion transforms programs, which is CPU work the event loop
+        must not absorb)."""
+        points: List[SweepPoint] = []
+        verifications: List[_Verification] = []
+        for spec in specs:
+            pts, vers = expand_spec(spec)
+            points.extend(pts)
+            verifications.extend(vers)
+        for point in points:
+            point.fingerprint = (
+                job_fingerprint(point.job())
+                if point.externals is None
+                else None
+            )
+        return points, verifications
+
+    # ------------------------------------------------- point dedup core
+
+    async def _obtain_point(
+        self, point: SweepPoint
+    ) -> Tuple[Measurement, str, bool]:
+        """One measurement, deduplicated: ``(measurement, source,
+        cached)`` where ``source`` names the layer that produced it and
+        ``cached`` matches the :class:`~repro.harness.sweep.SweepRun`
+        flag a direct session sweep would report (served from the
+        shared cache rather than simulated by anyone this round)."""
+        fp = point.fingerprint
+        if fp is None:  # externals: uncacheable, uncoalesceable
+            run = await self._run_job(point.job())
+            self.stats.simulations += 1
+            return (
+                measurement_from_run(
+                    run,
+                    network=point.network,
+                    label=point.label,
+                    collective=point.collective,
+                ),
+                "simulated",
+                False,
+            )
+        holder = self._inflight.get(fp)
+        if holder is not None:
+            # layer 2: subscribe to the in-flight identical simulation
+            self.stats.coalesced += 1
+            base, base_source = await holder
+            return (
+                dataclasses.replace(base, label=point.label),
+                "coalesced",
+                base_source in ("cache", "peer"),
+            )
+        future = self._loop.create_future()
+        self._inflight[fp] = future
+        try:
+            base, source = await self._materialize(point, fp)
+        except BaseException as exc:
+            self._inflight.pop(fp, None)
+            future.set_exception(exc)
+            future.exception()  # a lone holder must not warn on GC
+            raise
+        future.set_result((base, source))
+        self._inflight.pop(fp, None)
+        return (
+            dataclasses.replace(base, label=point.label),
+            source,
+            source in ("cache", "peer"),
+        )
+
+    async def _materialize(
+        self, point: SweepPoint, fp: str
+    ) -> Tuple[Measurement, str]:
+        """Produce the base (label-less) measurement for ``fp`` via the
+        cheapest layer: cache entry, a claiming peer's entry, or a
+        simulation of our own (claimed cross-process first)."""
+        cache = self.session.cache
+        claimed = False
+        if cache is not None:
+            measurement = self._from_cache(cache, fp)
+            if measurement is not None:
+                self.stats.cache_hits += 1
+                return measurement, "cache"
+            claimed = cache.claim(fp)
+            if not claimed:
+                # layer 3: a peer process claimed this fingerprint
+                measurement = await self._await_peer(cache, fp)
+                if measurement is not None:
+                    self.stats.peer_served += 1
+                    return measurement, "peer"
+                # peer crashed or stalled: take over (an unclaimed
+                # duplicate simulation is still correct, just wasteful)
+                claimed = cache.claim(fp)
+        try:
+            run = await self._run_job(
+                dataclasses.replace(point.job(), label="")
+            )
+        except BaseException:
+            if claimed:
+                cache.release(fp)
+            raise
+        self.stats.simulations += 1
+        measurement = measurement_from_run(
+            run, network=point.network, collective=point.collective
+        )
+        if cache is not None:
+            cache.put(
+                fp,
+                {
+                    "kind": "measurement",
+                    "inputs": dict(point.axes),
+                    "measurement": measurement.to_dict(),
+                },
+            )
+        return measurement, "simulated"
+
+    def _from_cache(
+        self, cache: SweepCache, fp: str
+    ) -> Optional[Measurement]:
+        payload = cache.get(fp)
+        if payload is None or payload.get("kind") != "measurement":
+            return None
+        try:
+            measurement = Measurement.from_dict(payload["measurement"])
+        except (TypeError, ValueError, KeyError):
+            cache.stats.corrupt += 1
+            return None
+        cache.stats.hits += 1
+        return measurement
+
+    async def _await_peer(
+        self, cache: SweepCache, fp: str
+    ) -> Optional[Measurement]:
+        """Async twin of :meth:`SweepCache.wait_for`: poll for the
+        claiming peer's entry without blocking the event loop."""
+        deadline = self._loop.time() + self.peer_wait_timeout
+        while True:
+            measurement = self._from_cache(cache, fp)
+            if measurement is not None:
+                return measurement
+            if not cache.claim_live(fp):
+                return self._from_cache(cache, fp)
+            if self._loop.time() >= deadline:
+                return None
+            await asyncio.sleep(self.peer_poll)
+
+    # ------------------------------------------------- verification core
+
+    async def _obtain_verify(self, ver: _Verification) -> str:
+        """Satisfy one §4 equivalence check; raises on mismatch.
+        Returns which layer satisfied it (``cache``/``peer``/
+        ``coalesced``/``simulated``)."""
+        key = ver.key
+        cache = self.session.cache
+        if key is None or cache is None:
+            await self._run_verification(ver, None, False)
+            return "simulated"
+        if self._verdict_cached(cache, key):
+            ver.prepared.equivalent = True
+            cache.stats.verify_hits += 1
+            return "cache"
+        holder = self._inflight_verify.get(key)
+        if holder is not None:
+            await holder  # raises if the running check failed
+            ver.prepared.equivalent = True
+            return "coalesced"
+        future = self._loop.create_future()
+        self._inflight_verify[key] = future
+        try:
+            claimed = cache.claim(key)
+            if not claimed:
+                landed = await self._await_verify_peer(cache, key)
+                if landed:
+                    ver.prepared.equivalent = True
+                    future.set_result(True)
+                    self._inflight_verify.pop(key, None)
+                    return "peer"
+                claimed = cache.claim(key)
+            await self._run_verification(ver, cache if claimed else None, key)
+        except BaseException as exc:
+            self._inflight_verify.pop(key, None)
+            future.set_exception(exc)
+            future.exception()
+            raise
+        future.set_result(True)
+        self._inflight_verify.pop(key, None)
+        return "simulated"
+
+    async def _run_verification(
+        self, ver: _Verification, cache, key
+    ) -> None:
+        try:
+            run_a, run_b = await asyncio.gather(
+                self._run_job(ver.original_job),
+                self._run_job(ver.transformed_job),
+            )
+            self.stats.verify_simulations += 2
+            ver.prepared.check_equivalence(run_a, run_b)  # raises
+        except BaseException:
+            if cache is not None and key:
+                cache.release(key)
+            raise
+        if cache is not None and key:
+            cache.put(
+                key,
+                {
+                    "kind": "verify",
+                    "equivalent": True,
+                    "app": ver.prepared.app.name,
+                    "nranks": ver.prepared.app.nranks,
+                },
+            )
+
+    @staticmethod
+    def _verdict_cached(cache: SweepCache, key: str) -> bool:
+        payload = cache.get(key)
+        return (
+            payload is not None
+            and payload.get("kind") == "verify"
+            and payload.get("equivalent") is True
+        )
+
+    async def _await_verify_peer(self, cache: SweepCache, key: str) -> bool:
+        deadline = self._loop.time() + self.peer_wait_timeout
+        while True:
+            if self._verdict_cached(cache, key):
+                return True
+            if not cache.claim_live(key):
+                return self._verdict_cached(cache, key)
+            if self._loop.time() >= deadline:
+                return False
+            await asyncio.sleep(self.peer_poll)
+
+    # ----------------------------------------------- compare and verify
+
+    async def _handle_compare(self, request: ServeRequest, send) -> None:
+        self.stats.compares += 1
+        body = dict(request.body)
+        self._reject_unknown(
+            body,
+            (
+                "app",
+                "app_kwargs",
+                "nranks",
+                "network",
+                "collective",
+                "variant",
+                "tile_size",
+                "interchange",
+            ),
+        )
+        name = body.get("app")
+        if not isinstance(name, str):
+            raise RequestError("compare needs 'app': a workload name")
+
+        def work():
+            app = build_app(
+                name,
+                nranks=body.get("nranks", 8),
+                **dict(body.get("app_kwargs", {})),
+            )
+            return self.session.compare(
+                CompareRequest(
+                    app=app,
+                    network=body.get("network"),
+                    collective=(
+                        body["collective"] if "collective" in body else UNSET
+                    ),
+                    variant=body.get("variant"),
+                    tile_size=body.get("tile_size", "auto"),
+                    interchange=body.get("interchange", "auto"),
+                )
+            )
+
+        try:
+            pair = await asyncio.to_thread(work)
+        except ReproError as exc:
+            raise RequestError(f"compare failed: {exc}") from None
+        await send(
+            event(
+                "result",
+                request.id,
+                result={
+                    "app": pair.app,
+                    "network": pair.network,
+                    "original": pair.original.to_dict(),
+                    "transformed": pair.prepush.to_dict(),
+                    "speedup": pair.speedup,
+                    "equivalent": pair.equivalent,
+                },
+            )
+        )
+
+    async def _handle_verify(self, request: ServeRequest, send) -> None:
+        self.stats.verifies += 1
+        body = dict(request.body)
+        self._reject_unknown(
+            body,
+            (
+                "program",
+                "nranks",
+                "tile_size",
+                "interchange",
+                "variant",
+                "network",
+                "collective",
+            ),
+        )
+        program = body.get("program")
+        if not isinstance(program, str):
+            raise RequestError("verify needs 'program': source text")
+
+        def work():
+            return self.session.verify(
+                VerifyRequest(
+                    program=program,
+                    nranks=body.get("nranks", 8),
+                    tile_size=body.get("tile_size", "auto"),
+                    interchange=body.get("interchange", "auto"),
+                    variant=body.get("variant"),
+                    network=body.get("network"),
+                    collective=(
+                        body["collective"] if "collective" in body else UNSET
+                    ),
+                )
+            )
+
+        try:
+            result = await asyncio.to_thread(work)
+        except ReproError as exc:
+            raise RequestError(f"verify failed: {exc}") from None
+        eq = result.equivalence
+        await send(
+            event(
+                "result",
+                request.id,
+                result={
+                    "equivalent": eq.equivalent,
+                    "speedup": eq.speedup,
+                    "time_original": eq.time_original,
+                    "time_transformed": eq.time_transformed,
+                    "compared_arrays": list(eq.compared_arrays),
+                    "mismatches": list(eq.mismatches),
+                    "transformed": result.transform.unparse(),
+                },
+            )
+        )
+
+    # --------------------------------------------------- status/shutdown
+
+    async def _handle_status(self, request: ServeRequest, send) -> None:
+        cache = self.session.cache
+        await send(
+            event(
+                "result",
+                request.id,
+                result={
+                    "protocol": PROTOCOL_VERSION,
+                    "engine": ENGINE_VERSION,
+                    "host": self.host,
+                    "port": self.port,
+                    "draining": self._draining,
+                    "active_requests": self._active_requests,
+                    "pending_points": self._pending_points,
+                    "max_pending_points": self.max_pending_points,
+                    "stats": self.stats.to_dict(),
+                    "cache": (
+                        None if cache is None else vars(cache.stats).copy()
+                    ),
+                },
+            )
+        )
+
+    async def _handle_shutdown(self, request: ServeRequest, send) -> None:
+        body = dict(request.body)
+        self._reject_unknown(body, ("drain",))
+        drain = body.get("drain", True)
+        if not isinstance(drain, bool):
+            raise RequestError("'drain' must be a boolean")
+        await send(event("result", request.id, result={"stopping": True}))
+        # detached: shutdown(drain) waits for active requests, and this
+        # handler IS one — awaiting it here would deadlock the drain
+        asyncio.ensure_future(self.shutdown(drain=drain))
+
+
+class ThreadedServer:
+    """Host a :class:`SweepServer` on a dedicated thread + event loop.
+
+    The synchronous embedding used by the benchmarks and tests::
+
+        with ThreadedServer(cache_dir=".cache") as ts:
+            client = ServeClient(port=ts.port)
+            ...
+
+    ``stop()`` (or context exit) performs a drain shutdown.
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        self._kwargs = server_kwargs
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[SweepServer] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ThreadedServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-host", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self.server = SweepServer(**self._kwargs)
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # surface on the caller thread
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server.wait_closed()
+
+        asyncio.run(main())
+
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        if self._loop is None or self.server is None:
+            return
+        if self._loop.is_closed():
+            # a client's shutdown verb (or a signal) already stopped the
+            # server and its loop; stop() stays idempotent
+            self._thread.join(timeout)
+            self._loop = None
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(drain=drain), self._loop
+            )
+        except RuntimeError:  # loop closed between the check and the call
+            self._thread.join(timeout)
+            self._loop = None
+            return
+        try:
+            future.result(timeout)
+        finally:
+            self._thread.join(timeout)
+            self._loop = None
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

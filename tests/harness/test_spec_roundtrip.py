@@ -1,0 +1,141 @@
+"""Property test: ``SweepSpec.to_dict`` round-trips through JSON.
+
+The dict form is both the ``--spec`` file format and the serve wire
+protocol (``compuniformer submit`` ships ``to_dict()`` to the server,
+which rebuilds with ``from_dict``), so fidelity over every registry-
+drawn axis combination is a protocol invariant, not a convenience.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import APP_BUILDERS
+from repro.harness.sweep import SweepSpec
+from repro.runtime.collectives import COLLECTIVES, list_algorithms
+from repro.runtime.network import list_models
+from repro.transform.pipeline import list_variants
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=20
+)
+
+# a collective axis value: registry default (None), one bare algorithm
+# name (applied wherever registered), or explicit collective=algorithm
+# pairs
+_algorithms = sorted({a for c in COLLECTIVES for a in list_algorithms(c)})
+_collective = st.one_of(
+    st.none(),
+    st.sampled_from(_algorithms),
+    st.fixed_dictionaries(
+        {},
+        optional={
+            coll: st.sampled_from(list_algorithms(coll))
+            for coll in COLLECTIVES
+        },
+    ).filter(bool),
+)
+
+_axis_floats = st.floats(
+    min_value=0.001, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def specs(draw) -> SweepSpec:
+    return SweepSpec(
+        name=draw(_names),
+        app=draw(st.sampled_from(sorted(APP_BUILDERS))),
+        app_kwargs=draw(
+            st.dictionaries(
+                st.sampled_from(["n", "steps", "stages"]),
+                st.integers(min_value=1, max_value=64),
+                max_size=3,
+            )
+        ),
+        nranks=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from([2, 4, 8, 16, 1024]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        ),
+        variants=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(list_variants()),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        ),
+        tile_sizes=tuple(
+            draw(
+                st.lists(
+                    st.one_of(
+                        st.just("auto"),
+                        st.integers(min_value=1, max_value=64),
+                    ),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        ),
+        interchange=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(["auto", "never"]),
+                    min_size=1,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+        ),
+        networks=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(list_models()),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        ),
+        collectives=tuple(
+            draw(st.lists(_collective, min_size=1, max_size=2))
+        ),
+        cpu_scales=tuple(
+            draw(st.lists(_axis_floats, min_size=1, max_size=2, unique=True))
+        ),
+        verify=draw(st.booleans()),
+        engine_mode=draw(
+            st.sampled_from([None, "auto", "replay", "full"])
+        ),
+    )
+
+
+@given(spec=specs())
+def test_to_dict_json_from_dict_round_trip(spec: SweepSpec) -> None:
+    wire = json.loads(json.dumps(spec.to_dict()))
+    rebuilt = SweepSpec.from_dict(wire)
+    assert rebuilt.to_dict() == spec.to_dict()
+    # a second trip is the identity (serve replies echo the specs back)
+    assert SweepSpec.from_dict(rebuilt.to_dict()).to_dict() == wire
+
+
+@given(spec=specs())
+def test_round_trip_preserves_expansion_shape(spec: SweepSpec) -> None:
+    rebuilt = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert len(list(rebuilt.nranks)) == len(list(spec.nranks))
+    assert list(rebuilt.networks) == list(spec.networks)
+    assert list(rebuilt.tile_sizes) == list(spec.tile_sizes)
+    assert rebuilt.verify == spec.verify
+    assert rebuilt.engine_mode == spec.engine_mode
