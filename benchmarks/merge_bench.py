@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Merge per-suite pytest-benchmark JSON files into one ``bench/`` tree.
+
+CI emits one ``BENCH_<suite>.json`` per benchmark step (smoke, pipeline,
+engine scaling, serve load, tune).  This script consolidates them into a
+single uploadable directory::
+
+    python benchmarks/merge_bench.py BENCH_*.json -o bench
+
+which contains
+
+* a verbatim copy of every input (provenance — the full
+  pytest-benchmark documents, machine info and all), and
+* ``index.json``: one deterministic summary keyed by suite then
+  benchmark name, carrying each benchmark's mean wall time and its
+  ``extra_info`` trajectory metrics (evals/sec, events/sec, dedup
+  ratios...) — the file perf dashboards diff between commits.
+
+Stdlib only; exits non-zero on unreadable or non-benchmark inputs so CI
+fails loudly instead of uploading a hollow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+
+def suite_name(path: Path) -> str:
+    """``BENCH_engine_scaling.json`` -> ``engine_scaling``."""
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def summarize(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-suite slice of ``index.json``."""
+    out: Dict[str, Any] = {}
+    for bench in document.get("benchmarks", []):
+        name = bench.get("name", bench.get("fullname", "?"))
+        entry: Dict[str, Any] = {}
+        stats = bench.get("stats") or {}
+        if "mean" in stats:
+            entry["mean_s"] = stats["mean"]
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        out[name] = entry
+    return out
+
+
+def merge(inputs, output: Path) -> Dict[str, Any]:
+    """Copy every input under ``output`` and build the merged index."""
+    index: Dict[str, Any] = {"suites": {}}
+    output.mkdir(parents=True, exist_ok=True)
+    for raw in inputs:
+        path = Path(raw)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: unreadable benchmark file {raw}: {exc}")
+        if not isinstance(document, dict) or "benchmarks" not in document:
+            raise SystemExit(
+                f"error: {raw} is not a pytest-benchmark JSON document "
+                f"(no 'benchmarks' key)"
+            )
+        suite = suite_name(path)
+        shutil.copyfile(path, output / path.name)
+        index["suites"][suite] = {
+            "source": path.name,
+            "datetime": document.get("datetime"),
+            "benchmarks": summarize(document),
+        }
+    (output / "index.json").write_text(
+        json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return index
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="merge BENCH_*.json artifacts into one bench/ directory"
+    )
+    parser.add_argument(
+        "inputs", nargs="+", help="pytest-benchmark JSON files to merge"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="bench",
+        help="output directory (default: bench)",
+    )
+    args = parser.parse_args(argv)
+    index = merge(args.inputs, Path(args.output))
+    suites = index["suites"]
+    total = sum(len(s["benchmarks"]) for s in suites.values())
+    print(
+        f"merged {len(suites)} suite(s), {total} benchmark(s) "
+        f"into {args.output}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@ from .errors import (  # noqa: F401
     SimulationError,
     SourceError,
     TransformError,
+    TuneError,
     VerificationError,
 )
 from .lang import parse, unparse  # noqa: F401
@@ -88,6 +89,16 @@ from .serve import (  # noqa: F401
     ServeClient,
     SweepServer,
     ThreadedServer,
+)
+from .tune import (  # noqa: F401
+    Axis,
+    SearchSpace,
+    TuneResult,
+    default_space,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+    tune,
 )
 from .verify import (  # noqa: F401
     EquivalenceReport,
@@ -129,6 +140,15 @@ __all__ = [
     "list_variants",
     "register_variant",
     "get_variant",
+    # auto-tuning (repro.tune)
+    "tune",
+    "SearchSpace",
+    "Axis",
+    "TuneResult",
+    "default_space",
+    "register_strategy",
+    "get_strategy",
+    "list_strategies",
     # the full error hierarchy
     "ReproError",
     "SourceError",
@@ -146,6 +166,7 @@ __all__ = [
     "ServeError",
     "RequestError",
     "OverloadError",
+    "TuneError",
     # the sweep service (repro.serve)
     "SweepServer",
     "ThreadedServer",

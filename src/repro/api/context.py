@@ -100,6 +100,12 @@ class ExecutionContext:
     #: ``"full"`` always interprets every rank.  All three produce
     #: bit-identical results and share cache entries.
     engine_mode: str = "auto"
+    #: default RNG seed for seeded workflows (today: the
+    #: :mod:`repro.tune` strategy RNG).  ``None`` means "unseeded
+    #: default" — consumers fall back to a fixed seed of 0 so runs stay
+    #: reproducible even when nobody asked.  The simulation itself is
+    #: deterministic and ignores this.
+    seed: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -147,6 +147,7 @@ class Session:
         self.cost_model: CostModel = context.cost_model
         self.cache: Optional[SweepCache] = _as_cache(context.cache_dir)
         self.jobs: Optional[int] = context.jobs
+        self.seed: Optional[int] = context.seed
         self._executor = None
         self._executor_failed = False
 
@@ -451,6 +452,42 @@ class Session:
             jobs=self._processes(),
             cache=self.cache,
             executor=executor,
+        )
+
+    def tune(
+        self,
+        space: Any,
+        *,
+        strategy: str = "hill-climb",
+        budget: int = 32,
+        objective: Any = "time",
+        seed: Optional[int] = None,
+        strategy_params: Optional[Dict[str, Any]] = None,
+        trajectory_path: Optional[str] = None,
+        on_step: Optional[Any] = None,
+    ) -> "Any":
+        """Search a :class:`~repro.tune.SearchSpace` through this
+        session's cache and pool (see :mod:`repro.tune`).
+
+        Every candidate evaluation goes through :meth:`sweep`, so the
+        content-addressed cache memoizes the search: re-running a tune
+        over a warm cache performs zero simulations and — with the same
+        ``seed`` (defaulting to ``ExecutionContext.seed``, then 0) —
+        reproduces the trajectory bit-identically.  Returns a
+        :class:`~repro.tune.TuneResult`.
+        """
+        from ..tune.driver import tune as _tune
+
+        return _tune(
+            space,
+            session=self,
+            strategy=strategy,
+            budget=budget,
+            objective=objective,
+            seed=seed,
+            strategy_params=strategy_params,
+            trajectory_path=trajectory_path,
+            on_step=on_step,
         )
 
     # --------------------------------------------------------- helpers

@@ -19,6 +19,12 @@ Subcommands mirror the workflow of the paper's system:
 ``sweep``      the declarative sweep engine: run figure/ablation sweeps
                (or a custom/JSON spec) through the content-addressed
                result cache, optionally sharded over a process pool
+``tune``       search the variant x tile x collective x network x nranks
+               knob space for the best configuration (DESIGN.md §12):
+               a registered strategy proposes candidates, every
+               evaluation goes through the result cache, and the run
+               emits a seeded, bit-reproducible trajectory
+``strategies`` list the registered tune search strategies
 ``serve``      start the async sweep service (DESIGN.md §11): accepts
                sweep/compare/verify requests over line-delimited JSON,
                coalesces identical work, and shares one result cache
@@ -85,6 +91,9 @@ Examples::
     compuniformer sweep --app fft --n 16 --nranks 4 --tile-size 2 \\
         --tile-size 4 --variant tile-only --network gmnet -o sweep.json
     compuniformer sweep --spec myspec.json --no-cache
+    compuniformer tune fft --network gmnet --strategy hill-climb \\
+        --budget 40 --seed 7 -o tune.json --trajectory tune.jsonl
+    compuniformer strategies
     compuniformer serve --cache-dir .sweep-cache --jobs 4 --port 7070
     compuniformer submit --port 7070 --app fft --n 16 --nranks 8
     compuniformer submit --port 7070 --status
@@ -104,6 +113,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -160,6 +170,28 @@ def _read_source(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as fh:
         return fh.read()
+
+
+def _guard_overwrite(path: Optional[str], force: bool) -> None:
+    """Refuse to clobber an existing artifact unless ``--force``.
+
+    Called twice per artifact flag: once up front (so a long sweep or
+    tune fails *before* spending the simulations, not after) and once
+    inside :func:`_write_json_artifact` (so the guard also holds for a
+    file that appeared while the run was in flight).
+    """
+    if path and not force and os.path.exists(path):
+        raise ReproError(
+            f"refusing to overwrite existing artifact {path!r}; "
+            f"pass --force to replace it"
+        )
+
+
+def _write_json_artifact(path: str, payload, *, force: bool = False) -> None:
+    _guard_overwrite(path, force)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}", file=sys.stderr)
 
 
 def _tile_size(text: str):
@@ -428,6 +460,145 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a JSON artifact (tables + stats + measurements)",
     )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing -o artifact instead of refusing",
+    )
+
+    p = sub.add_parser(
+        "tune",
+        help="search the variant x collective x network knob space for "
+        "the best configuration (DESIGN.md §12)",
+    )
+    p.add_argument("app", help="workload builder name (see 'apps')")
+    p.add_argument(
+        "--strategy",
+        default="hill-climb",
+        help="registered search strategy (default: hill-climb; see "
+        "'compuniformer strategies')",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=32,
+        help="maximum candidate evaluations (default: 32)",
+    )
+    p.add_argument(
+        "--objective",
+        choices=["time", "speedup"],
+        default="time",
+        help="'time' minimizes virtual completion time; 'speedup' "
+        "maximizes time(original)/time(candidate) (default: time)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="strategy RNG seed (default: 0); same seed + warm cache "
+        "reproduces the trajectory bit-identically",
+    )
+    p.add_argument("--n", type=int, default=None, help="workload size")
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--stages", type=int, default=None)
+    p.add_argument(
+        "--nranks",
+        type=int,
+        action="append",
+        default=None,
+        help="rank-count axis value (repeatable; default 8)",
+    )
+    p.add_argument(
+        "--variant",
+        action="append",
+        choices=list_variants(),
+        default=None,
+        help="variant axis value (repeatable; default: every "
+        "registered variant)",
+    )
+    p.add_argument(
+        "-K",
+        "--tile-size",
+        type=_tile_size,
+        action="append",
+        default=None,
+        help="tile-size axis value (repeatable; default auto,2,4,8,16)",
+    )
+    p.add_argument(
+        "--interchange",
+        action="append",
+        choices=["auto", "never"],
+        default=None,
+        help="interchange axis value (repeatable; default auto)",
+    )
+    p.add_argument(
+        "--network",
+        action="append",
+        choices=list_models(),
+        default=None,
+        help="network axis value (repeatable; default gmnet)",
+    )
+    p.add_argument(
+        "--collective",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="collective axis value (repeatable; 'default' for the "
+        "registry defaults; default axis: registry defaults + every "
+        "non-default alltoall algorithm)",
+    )
+    p.add_argument(
+        "--cpu-scale",
+        type=float,
+        default=1.0,
+        help="compute/communication cost scale (default: 1.0)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard uncached simulations over this many worker processes",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".compuniformer-cache",
+        help="content-addressed result cache directory "
+        "(default: .compuniformer-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (always simulate)",
+    )
+    _add_engine_mode_arg(p)
+    p.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress streamed per-evaluation progress on stderr",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write a JSON artifact (best candidate + full trajectory)",
+    )
+    p.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        help="write the per-step trajectory as JSONL to FILE",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite existing -o/--trajectory artifacts instead of "
+        "refusing",
+    )
+
+    sub.add_parser(
+        "strategies",
+        help="list the registered tune search strategies",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -505,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="write the result JSON (runs + stats) to FILE",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing -o artifact instead of refusing",
     )
 
     p = sub.add_parser(
@@ -733,6 +909,18 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sweep":
         return _sweep_command(args)
 
+    if args.command == "tune":
+        return _tune_command(args)
+
+    if args.command == "strategies":
+        from .tune import get_strategy, list_strategies
+
+        for name in list_strategies():
+            factory = get_strategy(name)
+            doc = (inspect.getdoc(factory) or "").split("\n")[0]
+            print(f"{name:20s} {doc}")
+        return 0
+
     if args.command == "serve":
         return _serve_command(args)
 
@@ -949,6 +1137,7 @@ def _generic_sweep_table(res) -> "Table":
 def _sweep_command(args: argparse.Namespace) -> int:
     from .runtime.simulator import ENGINE_VERSION
 
+    _guard_overwrite(args.output, args.force)
     artifact = {"engine": ENGINE_VERSION, "tables": []}
     with Session(
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -997,9 +1186,81 @@ def _sweep_command(args: argparse.Namespace) -> int:
             )
             artifact["cache"] = vars(session.cache.stats).copy()
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump(artifact, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.output}", file=sys.stderr)
+        _write_json_artifact(args.output, artifact, force=args.force)
+    return 0
+
+
+def _tune_command(args: argparse.Namespace) -> int:
+    from .tune import default_space
+
+    _guard_overwrite(args.output, args.force)
+    _guard_overwrite(args.trajectory, args.force)
+    app_kwargs = {
+        key: value
+        for key, value in (
+            ("n", args.n),
+            ("steps", args.steps),
+            ("stages", args.stages),
+        )
+        if value is not None
+    }
+    space_kwargs = {}
+    if args.variant:
+        space_kwargs["variants"] = tuple(args.variant)
+    if args.tile_size:
+        space_kwargs["tile_sizes"] = tuple(args.tile_size)
+    if args.interchange:
+        space_kwargs["interchange"] = tuple(args.interchange)
+    if args.collective:
+        space_kwargs["collectives"] = tuple(
+            None if c == "default" else c for c in args.collective
+        )
+    space = default_space(
+        args.app,
+        app_kwargs=app_kwargs,
+        networks=tuple(args.network or ("gmnet",)),
+        nranks=tuple(args.nranks or (8,)),
+        cpu_scale=args.cpu_scale,
+        **space_kwargs,
+    )
+
+    def _progress(step) -> None:
+        cand = ", ".join(f"{k}={v}" for k, v in step.candidate.items())
+        print(
+            f"[{step.step + 1}/{args.budget}] {step.objective:.6g}s "
+            f"(best {step.best_objective:.6g}s) "
+            f"{'cache' if step.cache_hit else 'sim'}  {cand}",
+            file=sys.stderr,
+        )
+
+    with Session(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+        engine_mode=args.engine_mode,
+        seed=args.seed,
+    ) as session:
+        result = session.tune(
+            space,
+            strategy=args.strategy,
+            budget=args.budget,
+            objective=args.objective,
+            on_step=None if args.quiet else _progress,
+        )
+
+    print(result.summary())
+    print()
+    print(result.trajectory.render())
+    if args.trajectory:
+        _guard_overwrite(args.trajectory, args.force)
+        result.trajectory.write(args.trajectory)
+        print(f"wrote {args.trajectory}", file=sys.stderr)
+    if args.output:
+        artifact = result.to_dict()
+        artifact["trajectory"] = {
+            "header": result.trajectory.header,
+            "steps": [s.to_dict() for s in result.trajectory.steps],
+        }
+        _write_json_artifact(args.output, artifact, force=args.force)
     return 0
 
 
@@ -1091,6 +1352,7 @@ def _result_table(result: dict) -> "Table":
 def _submit_command(args: argparse.Namespace) -> int:
     from .serve.client import ServeClient
 
+    _guard_overwrite(args.output, args.force)
     try:
         client = ServeClient(args.host, args.port)
     except OSError as exc:
@@ -1141,9 +1403,7 @@ def _submit_command(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.output}", file=sys.stderr)
+        _write_json_artifact(args.output, result, force=args.force)
     return 0
 
 

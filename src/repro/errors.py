@@ -105,3 +105,10 @@ class OverloadError(ServeError):
     expanded sweep would exceed the configured pending-point budget
     (DESIGN.md §11 backpressure — admission control at expansion time,
     so a queue can never grow without bound)."""
+
+
+class TuneError(ReproError):
+    """Raised by the :mod:`repro.tune` auto-tuning subsystem: a
+    malformed search space or candidate, an unknown strategy name, a
+    strategy protocol violation (e.g. proposing off-axis values), or a
+    refused artifact overwrite."""

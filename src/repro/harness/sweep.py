@@ -259,6 +259,47 @@ class SweepSpec:
             raise ReproError("sweep spec needs at least 'name' and 'app'")
         return cls(**{k: data[k] for k in data})
 
+    @classmethod
+    def single(
+        cls,
+        *,
+        name: str,
+        app: str,
+        app_kwargs: Optional[Mapping[str, Any]] = None,
+        variant: VariantLike = "original",
+        tile_size: Union[int, str] = "auto",
+        interchange: str = "auto",
+        network: NetworkLike = "gmnet",
+        collective: CollectiveSpec = None,
+        nranks: int = 8,
+        cpu_scale: float = 1.0,
+        verify: bool = False,
+        engine_mode: Optional[str] = None,
+    ) -> "SweepSpec":
+        """A one-point spec: every axis a single value.
+
+        This is the evaluation unit of the :mod:`repro.tune` search
+        driver — one candidate configuration becomes one single-point
+        spec, so its expansion carries exactly one fingerprint and the
+        sweep cache acts as the search loop's memo table.  Expanding it
+        yields exactly one :class:`SweepPoint` per variant-producing
+        axis value (i.e. one, since every axis is singular).
+        """
+        return cls(
+            name=name,
+            app=app,
+            app_kwargs=dict(app_kwargs or {}),
+            nranks=(nranks,),
+            variants=(variant,),
+            tile_sizes=(tile_size,),
+            interchange=(interchange,),
+            networks=(network,),
+            collectives=(collective,),
+            cpu_scales=(cpu_scale,),
+            verify=verify,
+            engine_mode=engine_mode,
+        )
+
 
 @dataclass
 class SweepPoint:

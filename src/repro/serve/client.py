@@ -65,6 +65,35 @@ def _spec_body(spec: Union[SweepSpec, Mapping[str, Any]]) -> Dict[str, Any]:
     )
 
 
+def _tune_body(
+    space: Any,
+    *,
+    strategy: str,
+    budget: int,
+    objective: str,
+    seed: Optional[int],
+    strategy_params: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    if hasattr(space, "to_dict"):
+        space = space.to_dict()
+    if not isinstance(space, Mapping):
+        raise TypeError(
+            f"space must be a SearchSpace or its to_dict() mapping, "
+            f"got {type(space).__name__}"
+        )
+    body: Dict[str, Any] = {
+        "space": dict(space),
+        "strategy": strategy,
+        "budget": budget,
+        "objective": objective,
+    }
+    if seed is not None:
+        body["seed"] = seed
+    if strategy_params:
+        body["strategy_params"] = dict(strategy_params)
+    return body
+
+
 class _EventPump:
     """Shared request/response logic: feed events until the terminal
     one, dispatching progress to ``on_event``."""
@@ -119,6 +148,33 @@ class ServeClient:
         return self._request("verify", dict(body, program=program), None)[
             "result"
         ]
+
+    def tune(
+        self,
+        space: Union[Mapping[str, Any], Any],
+        *,
+        strategy: str = "hill-climb",
+        budget: int = 32,
+        objective: str = "time",
+        seed: Optional[int] = None,
+        strategy_params: Optional[Mapping[str, Any]] = None,
+        on_event: OnEvent = None,
+    ) -> Dict[str, Any]:
+        """Run a server-side tune over ``space`` (a
+        :class:`repro.tune.SearchSpace` or its ``to_dict()`` mapping);
+        per-evaluation ``step`` events stream to ``on_event``.  Returns
+        the :meth:`~repro.tune.TuneResult.to_dict` payload plus the
+        full ``trajectory``."""
+        return self._request(
+            "tune", _tune_body(
+                space,
+                strategy=strategy,
+                budget=budget,
+                objective=objective,
+                seed=seed,
+                strategy_params=strategy_params,
+            ), on_event
+        )["result"]
 
     def status(self) -> Dict[str, Any]:
         return self._request("status", {}, None)["result"]
@@ -216,6 +272,29 @@ class AsyncServeClient:
     async def verify(self, program: str, **body: Any) -> Dict[str, Any]:
         response = await self._request(
             "verify", dict(body, program=program), None
+        )
+        return response["result"]
+
+    async def tune(
+        self,
+        space: Union[Mapping[str, Any], Any],
+        *,
+        strategy: str = "hill-climb",
+        budget: int = 32,
+        objective: str = "time",
+        seed: Optional[int] = None,
+        strategy_params: Optional[Mapping[str, Any]] = None,
+        on_event: OnEvent = None,
+    ) -> Dict[str, Any]:
+        response = await self._request(
+            "tune", _tune_body(
+                space,
+                strategy=strategy,
+                budget=budget,
+                objective=objective,
+                seed=seed,
+                strategy_params=strategy_params,
+            ), on_event
         )
         return response["result"]
 

@@ -16,6 +16,12 @@ Client → server (every request names a ``type`` and a client-chosen
               "app_kwargs": {...}, "network": ..., ...}``
 ``verify``    ``{"type": "verify", "id": ..., "program": "...",
               "nranks": 8, ...}``
+``tune``      ``{"type": "tune", "id": ..., "space": {...}, "strategy":
+              "hill-climb", "budget": 40, "objective": "time",
+              "seed": 7}`` — the ``space`` payload is
+              :meth:`repro.tune.SearchSpace.to_dict`; the server runs
+              the search with every candidate evaluation flowing
+              through its three-layer dedup
 ``status``    server statistics (never queued; answered immediately)
 ``shutdown``  ``{"drain": true}`` — ask the server to stop
 
@@ -26,6 +32,9 @@ Server → client events (``event`` discriminates):
 ``point``     one sweep point finished: ``axes``, its measurement
               ``source`` (``cache``/``peer``/``coalesced``/
               ``simulated``), completion ``seq`` of ``total``
+``step``      one tune evaluation finished: the
+              :meth:`repro.tune.TrajectoryStep.to_dict` fields
+              (candidate, objective, cumulative best, cache_hit)
 ``result``    the terminal success event; carries the full response
               payload (for sweeps: the
               :meth:`~repro.harness.sweep.SweepResult.to_json` shape)
@@ -65,7 +74,7 @@ PROTOCOL_VERSION = 1
 #: above any registered app and bounds a malicious/broken peer)
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
 
-REQUEST_TYPES = ("sweep", "compare", "verify", "status", "shutdown")
+REQUEST_TYPES = ("sweep", "compare", "verify", "tune", "status", "shutdown")
 
 #: wire name → exception class for terminal ``error`` events
 _ERROR_TYPES = {

@@ -87,6 +87,7 @@ class ServeStats:
     sweeps: int = 0
     compares: int = 0
     verifies: int = 0
+    tunes: int = 0
     errors: int = 0
     rejected: int = 0
     points_requested: int = 0
@@ -323,6 +324,8 @@ class SweepServer:
                 await self._handle_compare(request, send)
             elif request.type == "verify":
                 await self._handle_verify(request, send)
+            elif request.type == "tune":
+                await self._handle_tune(request, send)
             elif request.type == "status":
                 await self._handle_status(request, send)
             elif request.type == "shutdown":
@@ -845,6 +848,181 @@ class SweepServer:
                 },
             )
         )
+
+    # -------------------------------------------------------------- tune
+
+    async def _handle_tune(self, request: ServeRequest, send) -> None:
+        """Run a :func:`repro.tune.tune` search server-side.
+
+        The search loop itself runs on a worker thread (it is ordinary
+        blocking orchestration), but every candidate evaluation is
+        routed back onto the event loop through :meth:`_tune_round` —
+        i.e. through :meth:`_obtain_point` — so tune evaluations enjoy
+        the same three-layer dedup as sweep points and coalesce with
+        any concurrent client measuring the same fingerprints.
+        """
+        from ..errors import TuneError
+        from ..tune.driver import tune as run_tune
+        from ..tune.space import SearchSpace
+        from ..tune.strategies import get_strategy
+
+        self.stats.tunes += 1
+        body = dict(request.body)
+        self._reject_unknown(
+            body,
+            (
+                "space",
+                "strategy",
+                "budget",
+                "objective",
+                "seed",
+                "strategy_params",
+            ),
+        )
+        space_data = body.get("space")
+        if not isinstance(space_data, dict):
+            raise RequestError(
+                "tune needs 'space': a SearchSpace.to_dict() object"
+            )
+        try:
+            space = SearchSpace.from_dict(space_data)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise RequestError(f"invalid search space: {exc}") from None
+        strategy = body.get("strategy", "hill-climb")
+        if not isinstance(strategy, str):
+            raise RequestError("'strategy' must be a string")
+        try:
+            get_strategy(strategy)
+        except TuneError as exc:
+            raise RequestError(str(exc)) from None
+        budget = body.get("budget", 32)
+        if not isinstance(budget, int) or isinstance(budget, bool) or budget < 1:
+            raise RequestError("'budget' must be a positive integer")
+        # admission control: a tune evaluates up to `budget` points (x2
+        # with baselines); refuse searches the pending-point budget
+        # could never admit round by round
+        if budget > self.max_pending_points:
+            raise OverloadError(
+                f"tune budget {budget} exceeds the server's "
+                f"{self.max_pending_points}-point admission budget; "
+                f"lower the budget or raise --max-pending"
+            )
+        objective = body.get("objective", "time")
+        if objective not in ("time", "speedup"):
+            raise RequestError(
+                "'objective' must be 'time' or 'speedup' over the wire"
+            )
+        seed = body.get("seed")
+        if seed is not None and (
+            not isinstance(seed, int) or isinstance(seed, bool)
+        ):
+            raise RequestError("'seed' must be an integer")
+        params = body.get("strategy_params") or {}
+        if not isinstance(params, dict):
+            raise RequestError("'strategy_params' must be an object")
+
+        await send(
+            event(
+                "accepted",
+                request.id,
+                budget=budget,
+                strategy=strategy,
+                space_fingerprint=space.fingerprint(),
+            )
+        )
+
+        loop = self._loop
+
+        def evaluator(specs):
+            # called on the driver's worker thread; hop each round back
+            # onto the event loop where the dedup machinery lives
+            return asyncio.run_coroutine_threadsafe(
+                self._tune_round(specs), loop
+            ).result()
+
+        def on_step(step) -> None:
+            asyncio.run_coroutine_threadsafe(
+                send(event("step", request.id, **step.to_dict())), loop
+            ).result()
+
+        def work():
+            return run_tune(
+                space,
+                session=self.session,
+                strategy=strategy,
+                budget=budget,
+                objective=objective,
+                seed=seed,
+                strategy_params=params,
+                evaluate=evaluator,
+                on_step=on_step,
+            )
+
+        try:
+            result = await asyncio.to_thread(work)
+        except TuneError as exc:
+            raise RequestError(f"tune failed: {exc}") from None
+        payload = result.to_dict()
+        payload["trajectory"] = {
+            "header": result.trajectory.header,
+            "steps": [s.to_dict() for s in result.trajectory.steps],
+        }
+        await send(event("result", request.id, result=payload))
+
+    async def _tune_round(self, specs: List[SweepSpec]):
+        """One tune evaluation round as a ``SweepResult``, every point
+        going through :meth:`_obtain_point` (all three dedup layers)."""
+        from ..harness.sweep import SweepResult, SweepRun, SweepStats
+
+        specs = [
+            s
+            if s.engine_mode is not None
+            else dataclasses.replace(s, engine_mode=self.session.engine_mode)
+            for s in specs
+        ]
+        points, verifications = await asyncio.to_thread(self._expand, specs)
+        if self._pending_points + len(points) > self.max_pending_points:
+            raise OverloadError(
+                f"tune round expands to {len(points)} points but the "
+                f"server already has {self._pending_points} pending of "
+                f"a {self.max_pending_points}-point budget"
+            )
+        self._pending_points += len(points)
+        self.stats.points_requested += len(points)
+        self.stats.verify_checks += len(verifications)
+        stats = SweepStats(points=len(points))
+        try:
+            outcomes = await asyncio.gather(
+                *(self._obtain_point(p) for p in points)
+            )
+            for ver in verifications:
+                outcome = await self._obtain_verify(ver)
+                if outcome == "cache":
+                    self.stats.verify_hits += 1
+                    stats.verify_hits += 1
+                elif outcome == "simulated":
+                    stats.verify_simulated += 2
+                stats.verify_checks += 1
+        finally:
+            self._pending_points -= len(points)
+        runs: List[Any] = []
+        for point, (measurement, source, cached) in zip(points, outcomes):
+            if source == "simulated":
+                stats.simulated += 1
+            elif cached:
+                stats.cache_hits += 1
+            else:
+                stats.deduplicated += 1
+            runs.append(
+                SweepRun(
+                    axes=point.axes,
+                    measurement=measurement,
+                    cached=cached,
+                    fingerprint=point.fingerprint,
+                    transform=point.transform,
+                )
+            )
+        return SweepResult(runs=runs, stats=stats, specs=list(specs))
 
     # --------------------------------------------------- status/shutdown
 

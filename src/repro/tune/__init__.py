@@ -1,0 +1,65 @@
+"""repro.tune — auto-tuning search over the configuration knob space.
+
+The paper's conclusion ("pre-push + the right collective on this
+network") is one point in a space the repo can enumerate mechanically:
+variant × tile size × collective algorithm × network scenario × rank
+count.  This package searches that space instead of replaying the
+paper's grid:
+
+* :mod:`~repro.tune.space` — declarative :class:`SearchSpace` over the
+  three registries + TransformOptions, with structural constraints and
+  canonical serialization;
+* :mod:`~repro.tune.strategies` — the ask/tell :class:`Strategy`
+  protocol and registry (grid, random, hill-climb,
+  successive-halving built in);
+* :mod:`~repro.tune.driver` — :func:`tune`, evaluating through
+  :meth:`Session.sweep` so the content-addressed cache memoizes every
+  candidate;
+* :mod:`~repro.tune.trajectory` — per-step JSONL artifacts and the
+  :class:`TuneResult` summary.
+
+See DESIGN.md §12.
+"""
+
+from .space import (
+    AXIS_NAMES,
+    Axis,
+    SearchSpace,
+    default_space,
+    list_constraints,
+)
+from .strategies import (
+    EvalResult,
+    GridStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+    Strategy,
+    SuccessiveHalvingStrategy,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+from .driver import OBJECTIVES, tune
+from .trajectory import Trajectory, TrajectoryStep, TuneResult
+
+__all__ = [
+    "AXIS_NAMES",
+    "Axis",
+    "EvalResult",
+    "GridStrategy",
+    "HillClimbStrategy",
+    "OBJECTIVES",
+    "RandomStrategy",
+    "SearchSpace",
+    "Strategy",
+    "SuccessiveHalvingStrategy",
+    "Trajectory",
+    "TrajectoryStep",
+    "TuneResult",
+    "default_space",
+    "get_strategy",
+    "list_constraints",
+    "list_strategies",
+    "register_strategy",
+    "tune",
+]

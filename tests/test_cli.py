@@ -161,8 +161,11 @@ class TestSweep:
         assert artifact["cache"]["misses"] > 0
         runs = artifact["result"]["runs"]
         assert len(runs) == 4  # 2 tile sizes x 2 variants
-        # warm re-run: artifact reports zero misses and identical values
-        assert main(args) == 0
+        # warm re-run: refused without --force (the artifact exists),
+        # then reports zero misses and identical values with it
+        assert main(args) == 1
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert main(args + ["--force"]) == 0
         warm = json.loads(out.read_text())
         assert warm["cache"]["misses"] == 0
         assert warm["result"]["stats"]["simulated"] == 0

@@ -1,0 +1,154 @@
+"""The ``tune`` and ``strategies`` CLI verbs, and the artifact
+overwrite guard shared with ``sweep``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tune import list_strategies
+
+TUNE_ARGS = [
+    "tune",
+    "fft",
+    "--n",
+    "16",
+    "--steps",
+    "1",
+    "--stages",
+    "2",
+    "--nranks",
+    "4",
+    "-K",
+    "auto",
+    "-K",
+    "4",
+    "--strategy",
+    "grid",
+    "--budget",
+    "6",
+    "--seed",
+    "7",
+]
+
+
+def tune_args(tmp_path, *extra):
+    return TUNE_ARGS + ["--cache-dir", str(tmp_path / "cache"), *extra]
+
+
+class TestStrategiesVerb:
+    def test_lists_every_registered_strategy(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in list_strategies():
+            assert name in out
+        assert len(list_strategies()) >= 3
+
+
+class TestTuneVerb:
+    def test_runs_and_reports_best(self, tmp_path, capsys):
+        assert main(tune_args(tmp_path)) == 0
+        captured = capsys.readouterr()
+        assert "best time=" in captured.out
+        assert "via grid" in captured.out
+        assert "[seed 7]" in captured.out
+        # per-evaluation progress streams to stderr
+        assert "[1/6]" in captured.err
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        assert main(tune_args(tmp_path, "-q")) == 0
+        assert "[1/6]" not in capsys.readouterr().err
+
+    def test_warm_rerun_reproduces_bit_identically(self, tmp_path, capsys):
+        """The acceptance criterion: the second same-seed run answers
+        from cache (zero simulations) and writes a bit-identical
+        trajectory."""
+        traj1 = tmp_path / "t1.jsonl"
+        traj2 = tmp_path / "t2.jsonl"
+        assert main(tune_args(tmp_path, "--trajectory", str(traj1))) == 0
+        cold = capsys.readouterr()
+        assert main(tune_args(tmp_path, "--trajectory", str(traj2))) == 0
+        warm = capsys.readouterr()
+        assert "(0 simulated" in warm.out
+        assert "(0 simulated" not in cold.out
+
+        cold_lines = traj1.read_text().splitlines()
+        warm_lines = traj2.read_text().splitlines()
+        assert cold_lines[0] == warm_lines[0]  # identical headers
+        # step lines differ only in the cache_hit provenance flag
+        for a, b in zip(cold_lines[1:], warm_lines[1:]):
+            da, db = json.loads(a), json.loads(b)
+            assert db.pop("cache_hit") is True
+            da.pop("cache_hit")
+            assert da == db
+
+    def test_json_artifact_carries_trajectory(self, tmp_path):
+        out = tmp_path / "tune.json"
+        assert main(tune_args(tmp_path, "-o", str(out))) == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["strategy"] == "grid"
+        assert artifact["seed"] == 7
+        assert artifact["evaluations"] == len(
+            artifact["trajectory"]["steps"]
+        )
+        assert (
+            artifact["trajectory"]["header"]["kind"] == "tune-trajectory"
+        )
+        assert artifact["best_candidate"]["nranks"] == 4
+
+    def test_unknown_strategy_fails_cleanly(self, tmp_path, capsys):
+        args = tune_args(tmp_path)
+        args[args.index("grid")] = "simulated-annealing"
+        assert main(args) == 1
+        assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestOverwriteGuard:
+    def test_tune_refuses_existing_output(self, tmp_path, capsys):
+        out = tmp_path / "tune.json"
+        out.write_text("{}")
+        assert main(tune_args(tmp_path, "-o", str(out))) == 1
+        err = capsys.readouterr().err
+        assert "refusing to overwrite" in err
+        assert "--force" in err
+        # the guard fires before any simulation work
+        assert "[1/6]" not in err
+        assert out.read_text() == "{}"
+
+    def test_tune_refuses_existing_trajectory(self, tmp_path, capsys):
+        traj = tmp_path / "t.jsonl"
+        traj.write_text("old\n")
+        assert main(tune_args(tmp_path, "--trajectory", str(traj))) == 1
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert traj.read_text() == "old\n"
+
+    def test_tune_force_overwrites(self, tmp_path, capsys):
+        out = tmp_path / "tune.json"
+        out.write_text("{}")
+        assert main(tune_args(tmp_path, "-o", str(out), "--force")) == 0
+        assert json.loads(out.read_text())["strategy"] == "grid"
+
+    def test_sweep_refuses_existing_output(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        out.write_text("{}")
+        args = [
+            "sweep",
+            "--app",
+            "fft",
+            "--n",
+            "8",
+            "--nranks",
+            "4",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "-o",
+            str(out),
+        ]
+        assert main(args) == 1
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert out.read_text() == "{}"
+        # --force clears the refusal
+        assert main(args + ["--force"]) == 0
+        assert "runs" in json.loads(out.read_text())["result"]

@@ -1,0 +1,284 @@
+"""The tune driver end-to-end: cache-as-memo-table and determinism.
+
+The contract under test (DESIGN.md §12): same space + strategy +
+budget + objective + seed ⇒ bit-identical trajectory JSONL over a warm
+cache and zero simulations; a cold and a warm run agree on everything
+except the ``cache_hit`` provenance flags (equal
+``search_fingerprint``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.errors import TuneError
+from repro.harness.sweep import SweepSpec
+from repro.tune import Axis, SearchSpace, Trajectory, default_space, tune
+
+NRANKS = 4
+APP_KWARGS = {"n": 16, "steps": 1, "stages": 2}
+
+
+def small_space(**over) -> SearchSpace:
+    kwargs = dict(
+        app="fft",
+        app_kwargs=dict(APP_KWARGS),
+        axes=(
+            Axis("variant", ("original", "prepush", "tile-only")),
+            Axis("tile_size", ("auto", 4)),
+            Axis("nranks", (NRANKS,), kind="integer"),
+        ),
+    )
+    kwargs.update(over)
+    return SearchSpace(**kwargs)
+
+
+@pytest.fixture
+def session(tmp_path):
+    with Session(cache_dir=tmp_path / "cache") as s:
+        yield s
+
+
+class TestDriver:
+    def test_budget_must_be_positive(self, session):
+        with pytest.raises(TuneError, match="budget"):
+            tune(small_space(), session=session, budget=0)
+
+    def test_unknown_objective_rejected(self, session):
+        with pytest.raises(TuneError, match="objective"):
+            tune(small_space(), session=session, objective="throughput")
+
+    def test_budget_caps_evaluations(self, session):
+        result = tune(
+            small_space(), session=session, strategy="grid", budget=3
+        )
+        assert result.evaluations == 3
+        assert len(result.trajectory.steps) == 3
+
+    def test_exhausted_strategy_ends_early(self, session):
+        space = small_space()
+        result = tune(space, session=session, strategy="grid", budget=100)
+        assert result.evaluations == space.size()
+
+    def test_trajectory_records_cumulative_best(self, session):
+        result = tune(
+            small_space(), session=session, strategy="grid", budget=100
+        )
+        best = float("inf")
+        for step in result.trajectory.steps:
+            best = min(best, step.objective)
+            assert step.best_objective == best
+        assert result.best_objective == best
+        series = result.trajectory.best_fitness_series()
+        assert series == sorted(series, reverse=True)
+
+    def test_callable_objective(self, session):
+        calls = []
+
+        def my_objective(run):
+            calls.append(run.axes["variant"])
+            return float(run.axes["nranks"])
+
+        result = tune(
+            small_space(),
+            session=session,
+            strategy="grid",
+            budget=100,
+            objective=my_objective,
+        )
+        assert result.objective == "my_objective"
+        assert result.best_objective == float(NRANKS)
+        assert len(calls) == result.evaluations
+
+    def test_speedup_objective_measures_against_baseline(self, session):
+        space = small_space(
+            axes=(
+                Axis("variant", ("prepush",)),
+                Axis("nranks", (NRANKS,), kind="integer"),
+            )
+        )
+        result = tune(
+            space,
+            session=session,
+            strategy="grid",
+            budget=4,
+            objective="speedup",
+        )
+        # the objective is the negated speedup time(orig)/time(prepush)
+        assert result.best_objective < 0.0
+        # cross-check against an explicit measurement pair
+        sweep = session.sweep(
+            SweepSpec(
+                name="check",
+                app="fft",
+                app_kwargs=dict(APP_KWARGS),
+                variants=("original", "prepush"),
+                nranks=(NRANKS,),
+            )
+        )
+        times = {r.axes["variant"]: r.measurement.time for r in sweep.runs}
+        assert result.best_objective == pytest.approx(
+            -(times["original"] / times["prepush"])
+        )
+
+
+class TestGridEquivalence:
+    def test_full_budget_grid_tune_is_the_sweep(self, session):
+        """A full-budget grid tune and the corresponding SweepSpec
+        cross-product measure exactly the same points and agree on the
+        optimum."""
+        space = small_space()
+        spec = SweepSpec(
+            name="xprod",
+            app="fft",
+            app_kwargs=dict(APP_KWARGS),
+            variants=("original", "prepush", "tile-only"),
+            tile_sizes=("auto", 4),
+            nranks=(NRANKS,),
+        )
+        sweep = session.sweep(spec)
+        result = tune(space, session=session, strategy="grid", budget=100)
+        # same deduplicated point set...
+        sweep_fps = {r.fingerprint for r in sweep.runs}
+        tune_fps = {s.fingerprint for s in result.trajectory.steps}
+        assert tune_fps <= sweep_fps
+        assert result.evaluations == len(tune_fps)
+        # ...and the tune optimum is the sweep's fastest cell
+        assert result.best_objective == min(
+            r.measurement.time for r in sweep.runs
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_warm_cache_bit_identical(self, session):
+        space = small_space()
+        cold = tune(
+            space, session=session, strategy="hill-climb", budget=8, seed=7
+        )
+        assert cold.simulations > 0
+        warm1 = tune(
+            space, session=session, strategy="hill-climb", budget=8, seed=7
+        )
+        warm2 = tune(
+            space, session=session, strategy="hill-climb", budget=8, seed=7
+        )
+        # warm runs: every evaluation answered from the cache
+        assert warm1.simulations == 0
+        assert warm1.cache_hits == warm1.evaluations
+        # bit-identical trajectory JSONL between warm runs
+        assert warm1.trajectory.to_jsonl() == warm2.trajectory.to_jsonl()
+        # cold vs warm differ only in cache_hit flags
+        assert cold.trajectory.to_jsonl() != warm1.trajectory.to_jsonl()
+        assert (
+            cold.trajectory.search_fingerprint()
+            == warm1.trajectory.search_fingerprint()
+        )
+        assert cold.best_candidate == warm1.best_candidate
+        assert cold.best_objective == warm1.best_objective
+
+    def test_different_seeds_diverge(self, session):
+        space = small_space()
+        a = tune(space, session=session, strategy="random", budget=4, seed=1)
+        b = tune(space, session=session, strategy="random", budget=4, seed=2)
+        keys_a = [s.candidate for s in a.trajectory.steps]
+        keys_b = [s.candidate for s in b.trajectory.steps]
+        assert keys_a != keys_b
+
+    def test_session_seed_threads_through(self, tmp_path):
+        with Session(cache_dir=tmp_path / "cache", seed=42) as s:
+            result = s.tune(small_space(), strategy="random", budget=2)
+        assert result.seed == 42
+        assert result.trajectory.header["seed"] == 42
+
+    def test_explicit_seed_beats_session_seed(self, tmp_path):
+        with Session(cache_dir=tmp_path / "cache", seed=42) as s:
+            result = s.tune(
+                small_space(), strategy="random", budget=2, seed=3
+            )
+        assert result.seed == 3
+
+
+class TestHillClimbQuality:
+    def test_beats_or_matches_variant_grid(self, session):
+        """The ablation-H question: which variant wins at the paper's
+        coordinates?  A seeded hill-climb with budget past the first
+        axis sweep must find an objective <= the best variant-grid
+        cell, because its opening coordinate sweep covers that grid."""
+        space = default_space(
+            "fft",
+            app_kwargs=dict(APP_KWARGS),
+            nranks=(NRANKS,),
+            tile_sizes=("auto", 4),
+        )
+        n_variants = len(space.axis("variant").values)
+        result = tune(
+            space,
+            session=session,
+            strategy="hill-climb",
+            budget=n_variants + 1,
+            seed=0,
+        )
+        grid = session.sweep(
+            SweepSpec(
+                name="ablation-h",
+                app="fft",
+                app_kwargs=dict(APP_KWARGS),
+                variants=tuple(space.axis("variant").values),
+                nranks=(NRANKS,),
+            )
+        )
+        assert result.best_objective <= min(
+            r.measurement.time for r in grid.runs
+        )
+
+
+class TestTrajectoryArtifact:
+    def test_write_and_read_round_trip(self, session, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        result = tune(
+            small_space(),
+            session=session,
+            strategy="grid",
+            budget=4,
+            trajectory_path=str(path),
+        )
+        loaded = Trajectory.read(path)
+        assert loaded.header == result.trajectory.header
+        assert loaded.to_jsonl() == result.trajectory.to_jsonl()
+        assert (
+            loaded.search_fingerprint()
+            == result.trajectory.search_fingerprint()
+        )
+
+    def test_header_is_the_search_identity(self, session):
+        space = small_space()
+        result = tune(
+            space, session=session, strategy="grid", budget=2, seed=5
+        )
+        header = result.trajectory.header
+        assert header["kind"] == "tune-trajectory"
+        assert header["space_fingerprint"] == space.fingerprint()
+        assert header["strategy"] == "grid"
+        assert header["seed"] == 5
+        assert header["space"] == space.to_dict()
+
+    def test_read_rejects_non_trajectory(self, tmp_path):
+        path = tmp_path / "not.jsonl"
+        path.write_text(json.dumps({"kind": "sweep"}) + "\n")
+        with pytest.raises(TuneError, match="tune-trajectory"):
+            Trajectory.read(path)
+
+    def test_on_step_streams_every_evaluation(self, session):
+        seen = []
+        result = tune(
+            small_space(),
+            session=session,
+            strategy="grid",
+            budget=3,
+            on_step=seen.append,
+        )
+        assert [s.step for s in seen] == [0, 1, 2]
+        assert seen == result.trajectory.steps

@@ -1,0 +1,81 @@
+"""The CI bench-artifact merge script (``benchmarks/merge_bench.py``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.merge_bench import main, merge, suite_name
+
+
+def bench_doc(name: str, mean: float, **extra) -> dict:
+    return {
+        "datetime": "2026-08-07T00:00:00",
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": dict(extra),
+            }
+        ],
+    }
+
+
+def test_suite_name_strips_prefix(tmp_path):
+    assert suite_name(tmp_path / "BENCH_tune.json") == "tune"
+    assert suite_name(tmp_path / "custom.json") == "custom"
+
+
+def test_merge_copies_inputs_and_indexes(tmp_path):
+    a = tmp_path / "BENCH_tune.json"
+    a.write_text(json.dumps(bench_doc("test_tune", 0.05, warm_speedup=8.0)))
+    b = tmp_path / "BENCH_smoke.json"
+    b.write_text(json.dumps(bench_doc("test_engine", 1.5)))
+    out = tmp_path / "bench"
+
+    index = merge([str(a), str(b)], out)
+
+    # verbatim copies plus the merged index
+    assert (out / "BENCH_tune.json").read_text() == a.read_text()
+    assert (out / "BENCH_smoke.json").read_text() == b.read_text()
+    on_disk = json.loads((out / "index.json").read_text())
+    assert on_disk == index
+    tune = index["suites"]["tune"]
+    assert tune["source"] == "BENCH_tune.json"
+    assert tune["benchmarks"]["test_tune"]["mean_s"] == 0.05
+    assert tune["benchmarks"]["test_tune"]["extra_info"] == {
+        "warm_speedup": 8.0
+    }
+    assert index["suites"]["smoke"]["benchmarks"]["test_engine"] == {
+        "mean_s": 1.5
+    }
+
+
+def test_index_is_deterministic(tmp_path):
+    a = tmp_path / "BENCH_x.json"
+    a.write_text(json.dumps(bench_doc("t", 1.0)))
+    merge([str(a)], tmp_path / "b1")
+    merge([str(a)], tmp_path / "b2")
+    assert (tmp_path / "b1" / "index.json").read_text() == (
+        tmp_path / "b2" / "index.json"
+    ).read_text()
+
+
+def test_non_benchmark_input_fails_loudly(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{}")
+    with pytest.raises(SystemExit, match="not a pytest-benchmark"):
+        merge([str(bad)], tmp_path / "bench")
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SystemExit, match="unreadable"):
+        merge([str(missing)], tmp_path / "bench")
+
+
+def test_cli_entry_point(tmp_path, capsys):
+    a = tmp_path / "BENCH_tune.json"
+    a.write_text(json.dumps(bench_doc("t", 1.0)))
+    out = tmp_path / "bench"
+    assert main([str(a), "-o", str(out)]) == 0
+    assert "merged 1 suite(s), 1 benchmark(s)" in capsys.readouterr().out
+    assert (out / "index.json").exists()

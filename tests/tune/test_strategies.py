@@ -1,0 +1,228 @@
+"""Strategies: the registry, and each built-in's search behavior.
+
+These tests drive the ask/tell protocol by hand with a synthetic
+objective — no simulation, so they pin down pure search semantics:
+termination, no-repeat proposals, truncated-batch tolerance, and seeded
+determinism.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TuneError
+from repro.tune import (
+    Axis,
+    SearchSpace,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+from repro.tune.strategies import (
+    EvalResult,
+    GridStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+    SuccessiveHalvingStrategy,
+)
+
+
+def small_space(**over) -> SearchSpace:
+    kwargs = dict(
+        app="fft",
+        app_kwargs={"n": 16, "steps": 1, "stages": 2},
+        axes=(
+            Axis("variant", ("original", "prepush", "tile-only")),
+            Axis("tile_size", ("auto", 4)),
+        ),
+    )
+    kwargs.update(over)
+    return SearchSpace(**kwargs)
+
+
+def drive(strategy, space, objective, budget):
+    """The driver loop with a synthetic objective; returns the scored
+    history in evaluation order."""
+    history = []
+    while len(history) < budget:
+        proposals = strategy.ask(history)
+        if not proposals:
+            break
+        proposals = [space.normalize(c) for c in proposals]
+        proposals = proposals[: budget - len(history)]
+        told = []
+        for cand in proposals:
+            res = EvalResult(
+                candidate=cand,
+                key=space.candidate_key(cand),
+                objective=objective(cand),
+                cached=False,
+                step=len(history),
+            )
+            told.append(res)
+            history.append(res)
+        strategy.tell(told)
+    return history
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = list_strategies()
+        assert {"grid", "random", "hill-climb", "successive-halving"} <= set(
+            names
+        )
+        assert names == sorted(names)
+        assert len(names) >= 3
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(TuneError, match="grid"):
+            get_strategy("simulated-annealing")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(TuneError, match="overwrite=True"):
+            register_strategy("grid", GridStrategy)
+        # explicit overwrite is allowed (and restores the original)
+        register_strategy("grid", GridStrategy, overwrite=True)
+
+    def test_bad_names_and_factories_refused(self):
+        with pytest.raises(TuneError, match="non-empty string"):
+            register_strategy("", GridStrategy)
+        with pytest.raises(TuneError, match="not callable"):
+            register_strategy("broken", "not-a-factory")
+
+
+class TestGrid:
+    def test_enumerates_exactly_the_canonical_grid(self):
+        space = small_space()
+        strat = GridStrategy(space, random.Random(0), budget=100)
+        history = drive(strat, space, lambda c: 0.0, budget=100)
+        assert [h.candidate for h in history] == space.grid()
+        # exhausted: a further ask proposes nothing
+        assert strat.ask(history) == []
+
+    def test_tolerates_truncated_batches(self):
+        space = small_space()
+        strat = GridStrategy(space, random.Random(0), budget=2)
+        history = drive(strat, space, lambda c: 0.0, budget=2)
+        assert len(history) == 2
+        assert [h.candidate for h in history] == space.grid()[:2]
+
+
+class TestRandom:
+    def test_no_repeats_and_full_coverage(self):
+        space = small_space()
+        strat = RandomStrategy(space, random.Random(3), budget=100)
+        history = drive(strat, space, lambda c: 0.0, budget=100)
+        keys = [h.key for h in history]
+        assert len(set(keys)) == len(keys)
+        # the grid-scan fallback finishes coverage once sampling saturates
+        assert len(keys) == space.size()
+
+    def test_seeded_determinism(self):
+        space = small_space()
+        runs = []
+        for _ in range(2):
+            strat = RandomStrategy(space, random.Random(11), budget=4)
+            runs.append(
+                [h.key for h in drive(strat, space, lambda c: 0.0, budget=4)]
+            )
+        assert runs[0] == runs[1]
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(TuneError, match="batch"):
+            RandomStrategy(small_space(), random.Random(0), budget=4, batch=0)
+
+
+class TestHillClimb:
+    def test_finds_global_optimum_of_separable_objective(self):
+        # separable objective: coordinate descent provably converges
+        space = small_space()
+
+        def objective(cand):
+            score = 0.0
+            score += {"original": 2.0, "prepush": 0.0, "tile-only": 1.0}[
+                cand["variant"]
+            ]
+            score += 0.5 if cand["tile_size"] == "auto" else 0.0
+            return score
+
+        strat = HillClimbStrategy(space, random.Random(0), budget=100)
+        history = drive(strat, space, objective, budget=100)
+        assert min(h.objective for h in history) == 0.0
+        best = min(history, key=lambda h: h.objective)
+        assert best.candidate == {"variant": "prepush", "tile_size": 4}
+
+    def test_never_reasks_a_scored_candidate(self):
+        space = small_space()
+        strat = HillClimbStrategy(space, random.Random(5), budget=100)
+        history = drive(strat, space, lambda c: 1.0, budget=100)
+        keys = [h.key for h in history]
+        assert len(set(keys)) == len(keys)
+        # restarts eventually cover the whole space, then exhaust
+        assert len(keys) == space.size()
+        assert strat.ask(history) == []
+
+    def test_single_valued_space_ends_immediately(self):
+        space = small_space(axes=(Axis("variant", ("original",)),))
+        strat = HillClimbStrategy(space, random.Random(0), budget=10)
+        assert strat.ask([]) == []
+
+
+class TestSuccessiveHalving:
+    def _space(self):
+        return small_space(
+            axes=(
+                Axis("variant", ("original", "prepush")),
+                Axis("nranks", (2, 4, 8), kind="integer"),
+            )
+        )
+
+    def test_requires_multi_valued_nranks_axis(self):
+        with pytest.raises(TuneError, match="nranks axis"):
+            SuccessiveHalvingStrategy(
+                small_space(), random.Random(0), budget=16
+            )
+
+    def test_bad_eta_rejected(self):
+        with pytest.raises(TuneError, match="eta"):
+            SuccessiveHalvingStrategy(
+                self._space(), random.Random(0), budget=16, eta=1
+            )
+
+    def test_rungs_climb_and_survivors_halve(self):
+        space = self._space()
+        strat = SuccessiveHalvingStrategy(space, random.Random(2), budget=16)
+        # prefer prepush, penalize rank count slightly so scores vary
+        history = drive(
+            strat,
+            space,
+            lambda c: (0.0 if c["variant"] == "prepush" else 1.0)
+            + 0.01 * c["nranks"],
+            budget=16,
+        )
+        by_rung = {}
+        for h in history:
+            by_rung.setdefault(h.candidate["nranks"], []).append(h)
+        # the first cohort screens at the lowest rung, and each rung's
+        # cohort is no larger than the one below it
+        rungs = sorted(by_rung)
+        assert rungs[0] == 2
+        sizes = [len(by_rung[r]) for r in rungs]
+        assert sizes == sorted(sizes, reverse=True)
+        # the top rung only sees the screened winner
+        top = by_rung[max(rungs)]
+        assert all(h.candidate["variant"] == "prepush" for h in top)
+
+    def test_seeded_determinism(self):
+        space = self._space()
+        runs = []
+        for _ in range(2):
+            strat = SuccessiveHalvingStrategy(
+                space, random.Random(9), budget=12
+            )
+            runs.append(
+                [h.key for h in drive(strat, space, lambda c: 0.5, budget=12)]
+            )
+        assert runs[0] == runs[1]
